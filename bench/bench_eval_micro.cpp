@@ -1,0 +1,97 @@
+/// \file bench_eval_micro.cpp
+/// \brief P1 — google-benchmark microbenchmarks of the hot paths: the
+/// mapping evaluator (which the DSE calls tens of thousands of times),
+/// router-model derivation, and network-model construction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.hpp"
+#include "core/experiment.hpp"
+#include "model/evaluation.hpp"
+#include "router/registry.hpp"
+#include "router/router_model.hpp"
+#include "util/rng.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace phonoc;
+
+void BM_EvaluateMapping(benchmark::State& state,
+                        const std::string& benchmark_name) {
+  ExperimentSpec spec;
+  spec.benchmark = benchmark_name;
+  const auto problem = make_experiment(spec);
+  const Evaluator evaluator(problem);
+  Rng rng(7);
+  std::vector<Mapping> mappings;
+  for (int i = 0; i < 64; ++i)
+    mappings.push_back(
+        Mapping::random(problem.task_count(), problem.tile_count(), rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto result = evaluator.evaluate_raw(mappings[i++ % 64]);
+    benchmark::DoNotOptimize(result.worst_snr_db);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_EvaluatePip(benchmark::State& state) {
+  BM_EvaluateMapping(state, "pip");
+}
+void BM_EvaluateMpeg4(benchmark::State& state) {
+  BM_EvaluateMapping(state, "mpeg4");
+}
+void BM_EvaluateVopd(benchmark::State& state) {
+  BM_EvaluateMapping(state, "vopd");
+}
+void BM_EvaluateDvopd(benchmark::State& state) {
+  BM_EvaluateMapping(state, "dvopd");
+}
+BENCHMARK(BM_EvaluatePip);
+BENCHMARK(BM_EvaluateMpeg4);
+BENCHMARK(BM_EvaluateVopd);
+BENCHMARK(BM_EvaluateDvopd);
+
+void BM_RouterModelBuild(benchmark::State& state) {
+  const auto netlist = make_router_netlist("crux");
+  for (auto _ : state) {
+    const RouterModel model(netlist, PhysicalParameters::paper_defaults());
+    benchmark::DoNotOptimize(model.connection_count());
+  }
+}
+BENCHMARK(BM_RouterModelBuild);
+
+void BM_NetworkModelBuild(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto net = make_network(TopologyKind::Mesh, side, "crux");
+    benchmark::DoNotOptimize(net->tile_count());
+  }
+}
+BENCHMARK(BM_NetworkModelBuild)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PathLookup(benchmark::State& state) {
+  const auto net = make_network(TopologyKind::Mesh, 6, "crux");
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<TileId>(rng.next_below(36));
+    auto d = static_cast<TileId>(rng.next_below(36));
+    if (d == s) d = (d + 1) % 36;
+    benchmark::DoNotOptimize(net->path(s, d).total_gain);
+  }
+}
+BENCHMARK(BM_PathLookup);
+
+void BM_NoiseContribution(benchmark::State& state) {
+  const auto net = make_network(TopologyKind::Mesh, 6, "crux");
+  const auto& a = net->path(0, 35);
+  const auto& b = net->path(30, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(noise_contribution(*net, a, b));
+}
+BENCHMARK(BM_NoiseContribution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/// \file dynamic_traffic.cpp
+/// \brief Dynamic-traffic walkthrough of an optimized mapping: sweep the
+/// offered load on the circuit-switched simulator and watch latency,
+/// goodput, link utilization and the observed SNR envelope move, with
+/// the static worst-case bound drawn alongside. Demonstrates the
+/// sim/ public API end to end.
+///
+/// Usage: dynamic_traffic [--benchmark vopd] [--evals 6000]
+///                        [--duration-ns 200000] [--seed 1]
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "io/table_writer.hpp"
+#include "model/evaluation.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phonoc;
+  const CliOptions cli(argc, argv);
+
+  ExperimentSpec spec;
+  spec.benchmark = cli.get_or("benchmark", "vopd");
+  spec.goal = OptimizationGoal::Snr;
+  const auto problem = make_experiment(spec);
+
+  OptimizerBudget budget;
+  budget.max_evaluations =
+      static_cast<std::uint64_t>(cli.get_int("evals", 6000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto run = Engine(problem).run("rpbla", budget, seed);
+  const auto static_bound = evaluate_mapping(
+      problem.network(), problem.cg(), run.search.best.assignment());
+
+  std::cout << "dynamic traffic on the optimized " << problem.cg().name()
+            << " mapping (static worst-case SNR bound: "
+            << format_fixed(static_bound.worst_snr_db, 2) << " dB)\n\n";
+
+  TableWriter table({"load tx/us/edge", "delivered", "wait ns (mean)",
+                     "latency ns (p-mean)", "goodput Gbit/s", "link util %",
+                     "SNR min dB", "SNR mean dB"});
+  for (const double load : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    SimulationOptions sim;
+    sim.duration_ns = cli.get_double("duration-ns", 200000.0);
+    sim.arrivals_per_us = load;
+    sim.seed = seed;
+    sim.warmup_ns = sim.duration_ns * 0.1;
+    const auto result =
+        simulate(problem.network(), problem.cg(), run.search.best, sim);
+    table.add_row({format_fixed(load, 2), std::to_string(result.delivered),
+                   format_fixed(result.wait_ns.mean(), 1),
+                   format_fixed(result.latency_ns.mean(), 1),
+                   format_fixed(result.delivered_gbps, 2),
+                   format_fixed(result.mean_link_utilization * 100.0, 1),
+                   format_fixed(result.worst_snr_db, 2),
+                   format_fixed(result.snr_db.mean(), 2)});
+  }
+  std::cout << table.to_ascii();
+  std::cout << "\nreading: as the load grows, more communications overlap "
+               "in flight — the observed\nSNR minimum descends toward (but "
+               "never below) the static worst-case bound, while\nqueueing "
+               "delay grows once circuits contend for ports.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// \file scalability_study.cpp
+/// \brief Narrative walk through the paper's motivation (§I): the laser
+/// must out-shout the worst-case loss but stay below the nonlinearity
+/// ceiling, so worst-case loss caps the feasible network size — and
+/// crosstalk caps the usable SNR. This example sweeps mesh sizes with a
+/// pipeline workload, prints the power budget at each size for random
+/// vs optimized mappings, and reports where each curve crosses the
+/// feasibility line, including the multi-wavelength case.
+///
+/// Usage: scalability_study [--max-side 8] [--evals 3000]
+///                          [--channels 8] [--seed 1]
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "io/table_writer.hpp"
+#include "model/power_budget.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workloads/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phonoc;
+  const CliOptions cli(argc, argv);
+  const auto max_side =
+      static_cast<std::uint32_t>(cli.get_int("max-side", 8));
+  const auto channels =
+      static_cast<std::uint32_t>(cli.get_int("channels", 96));
+  // The constructive heuristic places pipeline neighbours adjacently in
+  // one shot, which is what large instances need within a small budget.
+  const auto optimizer = cli.get_or("optimizer", "greedy");
+  OptimizerBudget budget;
+  budget.max_evaluations =
+      static_cast<std::uint64_t>(cli.get_int("evals", 3000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // A fast receiver (-14 dBm sensitivity) with dense WDM: the regime
+  // where the worst-case loss actually decides feasibility.
+  PowerBudgetOptions single;
+  single.detector_sensitivity_dbm =
+      cli.get_double("sensitivity", -14.0);
+  PowerBudgetOptions wdm = single;
+  wdm.wavelength_channels = channels;
+
+  std::cout << "photonic NoC scalability under the laser power budget\n";
+  std::cout << "detector sensitivity " << single.detector_sensitivity_dbm
+            << " dBm, injection ceiling " << single.max_injected_power_dbm
+            << " dBm, margin " << single.margin_db << " dB, WDM case with "
+            << channels << " channels\n\n";
+
+  TableWriter table({"mesh", "mapping", "worst loss dB", "required dBm",
+                     "slack dB (1 ch)", "slack dB (WDM)", "feasible"});
+  int last_feasible_random = 0;
+  int last_feasible_optimized = 0;
+
+  for (std::uint32_t side = 3; side <= max_side; ++side) {
+    auto cg = pipeline_cg(static_cast<std::size_t>(side) * side, 64.0);
+    auto network = make_network(TopologyKind::Mesh, side, "crux");
+    MappingProblem problem(std::move(cg), network,
+                           make_objective(OptimizationGoal::InsertionLoss));
+    const Engine engine(problem);
+    OptimizerBudget one;
+    one.max_evaluations = 1;
+
+    const auto report = [&](const char* label, double loss) {
+      const auto pb1 = compute_power_budget(loss, single);
+      const auto pbw = compute_power_budget(loss, wdm);
+      table.add_row({std::to_string(side) + "x" + std::to_string(side),
+                     label, format_fixed(loss, 2),
+                     format_fixed(pb1.required_power_dbm, 2),
+                     format_fixed(pb1.slack_db, 2),
+                     format_fixed(pbw.slack_db, 2),
+                     pbw.feasible ? "yes" : (pb1.feasible ? "1ch only"
+                                                          : "no")});
+      return pbw.feasible;
+    };
+    if (report("random",
+               engine.run("rs", one, seed).best_evaluation.worst_loss_db))
+      last_feasible_random = static_cast<int>(side);
+    if (report("optimized", engine.run(optimizer, budget, seed)
+                                .best_evaluation.worst_loss_db))
+      last_feasible_optimized = static_cast<int>(side);
+  }
+  std::cout << table.to_ascii() << '\n';
+  std::cout << "largest WDM-feasible mesh with a random mapping:    "
+            << last_feasible_random << "x" << last_feasible_random << '\n';
+  std::cout << "largest WDM-feasible mesh with an optimized mapping: "
+            << last_feasible_optimized << "x" << last_feasible_optimized
+            << '\n';
+  std::cout << "\nmapping optimization buys the margin that lets the same "
+               "silicon scale further —\nthe paper's 'improved network "
+               "scalability' claim, quantified.\n";
+  return 0;
+}

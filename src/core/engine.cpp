@@ -1,0 +1,52 @@
+#include "core/engine.hpp"
+
+#include "mapping/branch_and_bound.hpp"
+#include "mapping/greedy.hpp"
+#include "mapping/registry.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+
+Engine::Engine(const MappingProblem& problem) : problem_(problem) {}
+
+RunResult Engine::run(const std::string& optimizer_name,
+                      const OptimizerBudget& budget,
+                      std::uint64_t seed) const {
+  // Context-dependent strategies are constructed from the problem here;
+  // everything else resolves through the registry.
+  if (to_lower(optimizer_name) == "greedy") {
+    const GreedyConstructive greedy(problem_.cg(),
+                                    problem_.network().topology());
+    return run(greedy, budget, seed);
+  }
+  if (to_lower(optimizer_name) == "bnb") {
+    const BranchAndBound bnb(problem_.cg(), problem_.network_ptr());
+    return run(bnb, budget, seed);
+  }
+  const auto optimizer = make_optimizer(optimizer_name);
+  return run(*optimizer, budget, seed);
+}
+
+RunResult Engine::run(const MappingOptimizer& optimizer,
+                      const OptimizerBudget& budget,
+                      std::uint64_t seed) const {
+  Evaluator evaluator(problem_);
+  RunResult result;
+  result.algorithm = optimizer.name();
+  result.search = optimizer.optimize(evaluator, problem_.task_count(),
+                                     problem_.tile_count(), budget, seed);
+  result.best_evaluation = evaluator.evaluate_detailed(result.search.best);
+  return result;
+}
+
+std::vector<RunResult> Engine::compare(
+    const std::vector<std::string>& optimizer_names,
+    const OptimizerBudget& budget, std::uint64_t seed) const {
+  std::vector<RunResult> results;
+  results.reserve(optimizer_names.size());
+  for (const auto& name : optimizer_names)
+    results.push_back(run(name, budget, seed));
+  return results;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,53 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The design space exploration engine: runs optimizers against a
+/// problem and packages comparable results (the machinery behind the
+/// paper's Table II).
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/problem.hpp"
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+/// Outcome of one optimizer run on one problem.
+struct RunResult {
+  std::string algorithm;
+  OptimizerResult search;
+  /// Detailed evaluation of the best mapping (both metrics + per-edge).
+  EvaluationResult best_evaluation;
+};
+
+class Engine {
+ public:
+  explicit Engine(const MappingProblem& problem);
+
+  /// Run a registered optimizer by name ("greedy" is constructed from
+  /// the problem's CG and topology).
+  [[nodiscard]] RunResult run(const std::string& optimizer_name,
+                              const OptimizerBudget& budget,
+                              std::uint64_t seed) const;
+
+  /// Run a caller-provided optimizer instance.
+  [[nodiscard]] RunResult run(const MappingOptimizer& optimizer,
+                              const OptimizerBudget& budget,
+                              std::uint64_t seed) const;
+
+  /// Run several optimizers with identical budgets and seed (the
+  /// paper's fair-comparison protocol).
+  [[nodiscard]] std::vector<RunResult> compare(
+      const std::vector<std::string>& optimizer_names,
+      const OptimizerBudget& budget, std::uint64_t seed) const;
+
+  [[nodiscard]] const MappingProblem& problem() const noexcept {
+    return problem_;
+  }
+
+ private:
+  const MappingProblem& problem_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,25 @@
+#include "core/evaluator.hpp"
+
+namespace phonoc {
+
+Evaluator::Evaluator(const MappingProblem& problem)
+    : problem_(problem), needs_detail_(problem.objective().needs_detail()) {}
+
+double Evaluator::evaluate(const Mapping& mapping) {
+  ++count_;
+  const auto result = evaluate_mapping(problem_.network(), problem_.cg(),
+                                       mapping.assignment(), needs_detail_);
+  return problem_.objective().fitness(result);
+}
+
+EvaluationResult Evaluator::evaluate_detailed(const Mapping& mapping) const {
+  return evaluate_mapping(problem_.network(), problem_.cg(),
+                          mapping.assignment(), /*detailed=*/true);
+}
+
+EvaluationResult Evaluator::evaluate_raw(const Mapping& mapping) const {
+  return evaluate_mapping(problem_.network(), problem_.cg(),
+                          mapping.assignment(), /*detailed=*/false);
+}
+
+}  // namespace phonoc

@@ -1,0 +1,45 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief The Mapping Evaluator (paper Fig. 1, block 4): bridges the
+/// physical-layer evaluation and the optimizer's fitness interface,
+/// counting evaluations along the way.
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+class Evaluator final : public FitnessFunction {
+ public:
+  explicit Evaluator(const MappingProblem& problem);
+
+  /// Fitness (higher = better) of a mapping under the problem objective.
+  [[nodiscard]] double evaluate(const Mapping& mapping) override;
+
+  /// Full evaluation with per-edge detail (reporting; not counted
+  /// against the fitness statistics).
+  [[nodiscard]] EvaluationResult evaluate_detailed(
+      const Mapping& mapping) const;
+
+  /// Both worst-case metrics of a mapping (convenience for sampling
+  /// experiments that record loss and SNR simultaneously, like Fig. 3).
+  [[nodiscard]] EvaluationResult evaluate_raw(const Mapping& mapping) const;
+
+  [[nodiscard]] std::uint64_t evaluation_count() const noexcept {
+    return count_;
+  }
+  void reset_count() noexcept { count_ = 0; }
+
+  [[nodiscard]] const MappingProblem& problem() const noexcept {
+    return problem_;
+  }
+
+ private:
+  const MappingProblem& problem_;
+  bool needs_detail_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace phonoc

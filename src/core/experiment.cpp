@@ -1,0 +1,53 @@
+#include "core/experiment.hpp"
+
+#include "router/registry.hpp"
+#include "router/router_model.hpp"
+#include "routing/registry.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace phonoc {
+
+std::string to_string(TopologyKind kind) {
+  return kind == TopologyKind::Mesh ? "mesh" : "torus";
+}
+
+std::shared_ptr<const NetworkModel> make_network(
+    TopologyKind topology, std::uint32_t side, const std::string& router,
+    double tile_pitch_mm, const PhysicalParameters& parameters,
+    const NetworkModelOptions& model_options) {
+  auto router_model =
+      std::make_shared<const RouterModel>(make_router_netlist(router),
+                                          parameters);
+  if (topology == TopologyKind::Mesh) {
+    GridOptions grid;
+    grid.rows = grid.cols = side;
+    grid.tile_pitch_mm = tile_pitch_mm;
+    std::shared_ptr<const RoutingAlgorithm> routing = make_routing("xy");
+    return std::make_shared<const NetworkModel>(
+        build_mesh(grid), std::move(router_model), std::move(routing),
+        model_options);
+  }
+  TorusOptions grid;
+  grid.rows = grid.cols = side;
+  grid.tile_pitch_mm = tile_pitch_mm;
+  std::shared_ptr<const RoutingAlgorithm> routing = make_routing("torus_dor");
+  return std::make_shared<const NetworkModel>(
+      build_torus(grid), std::move(router_model), std::move(routing),
+      model_options);
+}
+
+MappingProblem make_experiment(const ExperimentSpec& spec) {
+  auto cg = make_benchmark(spec.benchmark);
+  const auto side = spec.grid_side > 0 ? spec.grid_side
+                                       : square_side_for(cg.task_count());
+  auto network = make_network(spec.topology, side, spec.router,
+                              spec.tile_pitch_mm, spec.parameters,
+                              spec.model_options);
+  std::shared_ptr<const Objective> objective = make_objective(spec.goal);
+  return MappingProblem(std::move(cg), std::move(network),
+                        std::move(objective));
+}
+
+}  // namespace phonoc

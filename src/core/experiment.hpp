@@ -1,0 +1,45 @@
+#pragma once
+/// \file experiment.hpp
+/// \brief Paper-experiment presets: build the exact problem instances of
+/// §III (benchmark app on the smallest fitting square mesh/torus with
+/// the Crux router and dimension-order routing).
+
+#include <memory>
+#include <string>
+
+#include "core/problem.hpp"
+#include "photonics/parameters.hpp"
+
+namespace phonoc {
+
+/// Topology family used by the case studies.
+enum class TopologyKind { Mesh, Torus };
+
+[[nodiscard]] std::string to_string(TopologyKind kind);
+
+struct ExperimentSpec {
+  std::string benchmark = "mpeg4";     ///< one of benchmark_names()
+  TopologyKind topology = TopologyKind::Mesh;
+  std::string router = "crux";         ///< registered router name
+  OptimizationGoal goal = OptimizationGoal::Snr;
+  double tile_pitch_mm = 2.5;
+  PhysicalParameters parameters = PhysicalParameters::paper_defaults();
+  NetworkModelOptions model_options = {};
+  /// Grid side override; 0 = smallest square fitting the task count
+  /// (the paper's sizing rule).
+  std::uint32_t grid_side = 0;
+};
+
+/// Build the complete problem for a spec. The mesh uses XY routing, the
+/// torus shortest-way dimension-order routing, as in the paper.
+[[nodiscard]] MappingProblem make_experiment(const ExperimentSpec& spec);
+
+/// Convenience: network only (no CG/objective), e.g. for scalability
+/// sweeps over synthetic workloads.
+[[nodiscard]] std::shared_ptr<const NetworkModel> make_network(
+    TopologyKind topology, std::uint32_t side, const std::string& router,
+    double tile_pitch_mm = 2.5,
+    const PhysicalParameters& parameters = PhysicalParameters::paper_defaults(),
+    const NetworkModelOptions& model_options = {});
+
+}  // namespace phonoc

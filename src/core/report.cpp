@@ -1,0 +1,66 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace phonoc {
+
+std::string summarize_run(const RunResult& result) {
+  std::ostringstream out;
+  out << result.algorithm << ": worst loss "
+      << format_fixed(result.best_evaluation.worst_loss_db, 2)
+      << " dB, worst SNR "
+      << format_fixed(result.best_evaluation.worst_snr_db, 2) << " dB ("
+      << result.search.evaluations << " evaluations, "
+      << format_fixed(result.search.seconds * 1e3, 1) << " ms)";
+  return out.str();
+}
+
+std::string render_mapping(const Topology& topology, const CommGraph& cg,
+                           const Mapping& mapping) {
+  // Column width: longest task name (bounded) or 1 for the empty marker.
+  std::size_t width = 1;
+  for (NodeId t = 0; t < cg.task_count(); ++t)
+    width = std::max(width, cg.task_name(t).size());
+  width = std::min<std::size_t>(width, 12);
+
+  std::ostringstream out;
+  for (std::uint32_t r = 0; r < topology.rows(); ++r) {
+    for (std::uint32_t c = 0; c < topology.cols(); ++c) {
+      const auto tile = topology.tile_at(r, c);
+      std::string cell = ".";
+      if (tile != kInvalidTile) {
+        const int task = mapping.task_at(tile);
+        if (task >= 0) {
+          cell = cg.task_name(static_cast<NodeId>(task));
+          if (cell.size() > width) cell = cell.substr(0, width);
+        }
+      }
+      out << cell << std::string(width + 1 - cell.size(), ' ');
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string describe_best(const MappingProblem& problem,
+                          const RunResult& result) {
+  std::ostringstream out;
+  out << summarize_run(result) << "\n\n";
+  out << render_mapping(problem.network().topology(), problem.cg(),
+                        result.search.best);
+  out << "\nper-communication metrics:\n";
+  const auto edges = problem.cg().edges();
+  for (const auto& em : result.best_evaluation.edges) {
+    const auto& e = edges[em.edge];
+    out << "  " << problem.cg().task_name(e.src) << " -> "
+        << problem.cg().task_name(e.dst) << ": loss "
+        << format_fixed(em.loss_db, 3) << " dB, SNR "
+        << format_fixed(em.snr_db, 2) << " dB\n";
+  }
+  return out.str();
+}
+
+}  // namespace phonoc

@@ -1,0 +1,27 @@
+#pragma once
+/// \file report.hpp
+/// \brief Human-readable result reporting (per-run summaries and the
+/// mapping grid rendering used by the examples).
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "topology/topology.hpp"
+
+namespace phonoc {
+
+/// One-line summary: algorithm, worst loss, worst SNR, evaluations, time.
+[[nodiscard]] std::string summarize_run(const RunResult& result);
+
+/// ASCII rendering of a mapping on its grid (task names in cells, '.'
+/// for empty tiles).
+[[nodiscard]] std::string render_mapping(const Topology& topology,
+                                         const CommGraph& cg,
+                                         const Mapping& mapping);
+
+/// Multi-line report of the best mapping of a run: grid + per-edge
+/// loss/SNR table.
+[[nodiscard]] std::string describe_best(const MappingProblem& problem,
+                                        const RunResult& result);
+
+}  // namespace phonoc

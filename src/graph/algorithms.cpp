@@ -1,0 +1,17 @@
+#include "graph/algorithms.hpp"
+
+// Header-only templates; instantiate with a representative payload so the
+// algorithms compile as part of the library build.
+namespace phonoc {
+namespace {
+[[maybe_unused]] void instantiate() {
+  Digraph<int> g(2);
+  g.add_edge(0, 1, 7);
+  (void)bfs_distances(g, 0);
+  (void)is_weakly_connected(g);
+  (void)topological_order(g);
+  (void)has_cycle(g);
+  (void)diameter(g);
+}
+}  // namespace
+}  // namespace phonoc

@@ -1,0 +1,108 @@
+#pragma once
+/// \file algorithms.hpp
+/// \brief Graph algorithms over Digraph: reachability, components,
+/// shortest hop distances, cycle detection, topological order.
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace phonoc {
+
+/// Breadth-first hop distances from `source` following edge direction.
+/// Unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+template <typename EdgeData>
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(
+    const Digraph<EdgeData>& g, NodeId source) {
+  require(source < g.node_count(), "bfs_distances: source out of range");
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::vector<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (const auto n : frontier) {
+      for (const auto e : g.out_edges(n)) {
+        const auto m = g.edge(e).dst;
+        if (dist[m] == kUnreachable) {
+          dist[m] = dist[n] + 1;
+          next.push_back(m);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+/// Weak connectivity: every node reachable from node 0 when edges are
+/// traversed in both directions. Empty graphs count as connected.
+template <typename EdgeData>
+[[nodiscard]] bool is_weakly_connected(const Digraph<EdgeData>& g) {
+  if (g.node_count() == 0) return true;
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const auto n = stack.back();
+    stack.pop_back();
+    const auto visit = [&](NodeId m) {
+      if (!seen[m]) {
+        seen[m] = true;
+        ++visited;
+        stack.push_back(m);
+      }
+    };
+    for (const auto e : g.out_edges(n)) visit(g.edge(e).dst);
+    for (const auto e : g.in_edges(n)) visit(g.edge(e).src);
+  }
+  return visited == g.node_count();
+}
+
+/// Kahn topological order; std::nullopt when the graph has a cycle.
+template <typename EdgeData>
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(
+    const Digraph<EdgeData>& g) {
+  std::vector<std::uint32_t> indeg(g.node_count(), 0);
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    indeg[n] = static_cast<std::uint32_t>(g.in_degree(n));
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    if (indeg[n] == 0) ready.push_back(n);
+  std::vector<NodeId> order;
+  order.reserve(g.node_count());
+  while (!ready.empty()) {
+    const auto n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (const auto e : g.out_edges(n)) {
+      const auto m = g.edge(e).dst;
+      if (--indeg[m] == 0) ready.push_back(m);
+    }
+  }
+  if (order.size() != g.node_count()) return std::nullopt;
+  return order;
+}
+
+/// True when the directed graph contains at least one cycle.
+template <typename EdgeData>
+[[nodiscard]] bool has_cycle(const Digraph<EdgeData>& g) {
+  return !topological_order(g).has_value();
+}
+
+/// Longest shortest-path hop count over all reachable ordered pairs.
+template <typename EdgeData>
+[[nodiscard]] std::uint32_t diameter(const Digraph<EdgeData>& g) {
+  std::uint32_t best = 0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const auto dist = bfs_distances(g, n);
+    for (const auto d : dist)
+      if (d != kUnreachable) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace phonoc

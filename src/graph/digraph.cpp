@@ -1,0 +1,8 @@
+#include "graph/digraph.hpp"
+
+// Digraph is a header-only template; this translation unit instantiates a
+// representative specialization so template errors surface at library
+// build time rather than first use.
+namespace phonoc {
+template class Digraph<int>;
+}  // namespace phonoc

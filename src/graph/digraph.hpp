@@ -1,0 +1,109 @@
+#pragma once
+/// \file digraph.hpp
+/// \brief Compact directed graph with adjacency lists, the common
+/// substrate under Communication Graphs and Topology graphs.
+///
+/// Nodes are dense indices [0, node_count). Edges carry a user payload
+/// and are themselves indexed densely [0, edge_count), so per-edge data
+/// (paths, losses, noise budgets) can live in parallel arrays.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+
+/// Directed multigraph template. `EdgeData` is any copyable payload.
+template <typename EdgeData>
+class Digraph {
+ public:
+  struct Edge {
+    NodeId src;
+    NodeId dst;
+    EdgeData data;
+  };
+
+  Digraph() = default;
+  explicit Digraph(std::size_t nodes) { resize(nodes); }
+
+  void resize(std::size_t nodes) {
+    out_.resize(nodes);
+    in_.resize(nodes);
+  }
+
+  NodeId add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  EdgeId add_edge(NodeId src, NodeId dst, EdgeData data = {}) {
+    require(src < node_count() && dst < node_count(),
+            "Digraph::add_edge: node index out of range");
+    const auto id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{src, dst, std::move(data)});
+    out_[src].push_back(id);
+    in_[dst].push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const {
+    require(id < edges_.size(), "Digraph::edge: edge index out of range");
+    return edges_[id];
+  }
+  [[nodiscard]] Edge& edge(EdgeId id) {
+    require(id < edges_.size(), "Digraph::edge: edge index out of range");
+    return edges_[id];
+  }
+
+  /// Edge ids leaving / entering a node.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId n) const {
+    require(n < node_count(), "Digraph::out_edges: node out of range");
+    return out_[n];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId n) const {
+    require(n < node_count(), "Digraph::in_edges: node out of range");
+    return in_[n];
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId n) const {
+    return out_edges(n).size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId n) const {
+    return in_edges(n).size();
+  }
+
+  /// First edge src->dst, or kInvalidEdge when absent.
+  [[nodiscard]] EdgeId find_edge(NodeId src, NodeId dst) const {
+    if (src >= node_count()) return kInvalidEdge;
+    for (const auto id : out_[src])
+      if (edges_[id].dst == dst) return id;
+    return kInvalidEdge;
+  }
+
+  [[nodiscard]] bool has_edge(NodeId src, NodeId dst) const {
+    return find_edge(src, dst) != kInvalidEdge;
+  }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,78 @@
+#include "io/cg_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+
+CommGraph read_cg(std::istream& in) {
+  CommGraph cg;
+  std::string line;
+  int line_no = 0;
+  bool named = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    const auto& keyword = fields[0];
+    if (keyword == "cg") {
+      if (fields.size() != 2)
+        throw ParseError("cg directive expects one name", line_no);
+      if (named) throw ParseError("duplicate cg directive", line_no);
+      cg.set_name(fields[1]);
+      named = true;
+    } else if (keyword == "task") {
+      if (fields.size() != 2)
+        throw ParseError("task directive expects one name", line_no);
+      try {
+        cg.add_task(fields[1]);
+      } catch (const InvalidArgument& e) {
+        throw ParseError(e.what(), line_no);
+      }
+    } else if (keyword == "edge") {
+      if (fields.size() != 4)
+        throw ParseError("edge directive expects <src> <dst> <bandwidth>",
+                         line_no);
+      try {
+        cg.add_communication(fields[1], fields[2],
+                             parse_double(fields[3], line_no));
+      } catch (const InvalidArgument& e) {
+        throw ParseError(e.what(), line_no);
+      }
+    } else {
+      throw ParseError("unknown directive '" + keyword + "'", line_no);
+    }
+  }
+  cg.validate();
+  return cg;
+}
+
+CommGraph read_cg_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open CG file '" + path + "'");
+  return read_cg(in);
+}
+
+void write_cg(std::ostream& out, const CommGraph& cg) {
+  out << "# PhoNoCMap communication graph\n";
+  out << "cg " << cg.name() << '\n';
+  for (NodeId t = 0; t < cg.task_count(); ++t)
+    out << "task " << cg.task_name(t) << '\n';
+  for (const auto& e : cg.edges())
+    out << "edge " << cg.task_name(e.src) << ' ' << cg.task_name(e.dst) << ' '
+        << e.bandwidth_mbps << '\n';
+}
+
+void write_cg_file(const std::string& path, const CommGraph& cg) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write CG file '" + path + "'");
+  write_cg(out, cg);
+}
+
+}  // namespace phonoc

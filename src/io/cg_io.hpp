@@ -1,0 +1,26 @@
+#pragma once
+/// \file cg_io.hpp
+/// \brief Communication Graph text format.
+///
+/// Line-oriented, '#' comments:
+///
+///     cg <name>
+///     task <name>
+///     edge <src-task> <dst-task> <bandwidth-MB/s>
+///
+/// Tasks must be declared before edges reference them.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/comm_graph.hpp"
+
+namespace phonoc {
+
+[[nodiscard]] CommGraph read_cg(std::istream& in);
+[[nodiscard]] CommGraph read_cg_file(const std::string& path);
+
+void write_cg(std::ostream& out, const CommGraph& cg);
+void write_cg_file(const std::string& path, const CommGraph& cg);
+
+}  // namespace phonoc

@@ -1,0 +1,28 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV writer (RFC-4180 quoting) for experiment output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace phonoc {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row; fields containing commas/quotes/newlines are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header then delegate to row().
+  void header(const std::vector<std::string>& fields) { row(fields); }
+
+  /// Escape a single field per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,75 @@
+#include "mapping/annealing.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace phonoc {
+
+SimulatedAnnealing::SimulatedAnnealing(AnnealingOptions options)
+    : options_(options) {
+  require(options_.cooling > 0.0 && options_.cooling < 1.0,
+          "SimulatedAnnealing: cooling must be in (0,1)");
+  require(options_.initial_temperature_factor > 0.0,
+          "SimulatedAnnealing: temperature factor must be positive");
+  require(options_.moves_per_tile > 0.0,
+          "SimulatedAnnealing: moves_per_tile must be positive");
+}
+
+OptimizerResult SimulatedAnnealing::optimize(FitnessFunction& fitness,
+                                             std::size_t task_count,
+                                             std::size_t tile_count,
+                                             const OptimizerBudget& budget,
+                                             std::uint64_t seed) const {
+  SearchState state(fitness, task_count, tile_count, budget, seed);
+  auto& rng = state.rng();
+
+  // Calibrate the initial temperature from a small random sample so the
+  // acceptance probability starts meaningfully scaled to the landscape.
+  RunningStats calibration;
+  Mapping current = Mapping::random(task_count, tile_count, rng);
+  double current_fitness = state.evaluate(current);
+  calibration.add(current_fitness);
+  for (int i = 0; i < 15 && !state.exhausted(); ++i) {
+    const auto sample = Mapping::random(task_count, tile_count, rng);
+    calibration.add(state.evaluate(sample));
+  }
+  const double spread = std::max(calibration.stddev(), 1e-6);
+  const double t0 = spread * options_.initial_temperature_factor;
+  double temperature = t0;
+
+  const auto moves_per_step = static_cast<std::uint64_t>(
+      std::max(1.0, options_.moves_per_tile * static_cast<double>(tile_count)));
+
+  std::uint64_t steps = 0;
+  while (!state.exhausted()) {
+    ++steps;
+    for (std::uint64_t m = 0; m < moves_per_step && !state.exhausted(); ++m) {
+      auto a = static_cast<TileId>(rng.next_below(tile_count));
+      auto b = static_cast<TileId>(rng.next_below(tile_count));
+      if (a == b) continue;
+      // Swapping two empty tiles is a no-op; skip without evaluating.
+      if (current.task_at(a) < 0 && current.task_at(b) < 0) continue;
+      current.swap_tiles(a, b);
+      const double moved = state.evaluate(current);
+      const double delta = moved - current_fitness;
+      if (delta >= 0.0 ||
+          rng.next_double() < std::exp(delta / temperature)) {
+        current_fitness = moved;  // accept
+      } else {
+        current.swap_tiles(a, b);  // reject: undo
+      }
+    }
+    temperature *= options_.cooling;
+    if (temperature < t0 * options_.min_temperature_fraction) {
+      // Reheat from the incumbent: keeps improving within big budgets.
+      current = state.best();
+      current_fitness = state.best_fitness();
+      temperature = t0 * 0.1;
+    }
+  }
+  return state.finish(steps);
+}
+
+}  // namespace phonoc

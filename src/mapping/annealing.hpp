@@ -1,0 +1,36 @@
+#pragma once
+/// \file annealing.hpp
+/// \brief Simulated annealing over tile swaps (extension beyond the
+/// paper's three strategies; registered as "sa").
+
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+struct AnnealingOptions {
+  /// Initial temperature as a multiple of the fitness spread observed
+  /// in a short calibration sample.
+  double initial_temperature_factor = 1.0;
+  /// Geometric cooling rate per temperature step.
+  double cooling = 0.95;
+  /// Moves attempted per temperature step, as a multiple of tile count.
+  double moves_per_tile = 4.0;
+  /// Stop when temperature falls below this fraction of the initial.
+  double min_temperature_fraction = 1e-4;
+};
+
+class SimulatedAnnealing final : public MappingOptimizer {
+ public:
+  explicit SimulatedAnnealing(AnnealingOptions options = {});
+  [[nodiscard]] std::string name() const override { return "sa"; }
+  [[nodiscard]] OptimizerResult optimize(FitnessFunction& fitness,
+                                         std::size_t task_count,
+                                         std::size_t tile_count,
+                                         const OptimizerBudget& budget,
+                                         std::uint64_t seed) const override;
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace phonoc

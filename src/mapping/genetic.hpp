@@ -1,0 +1,55 @@
+#pragma once
+/// \file genetic.hpp
+/// \brief Genetic algorithm over tile permutations (paper §II-D2).
+///
+/// Chromosomes are permutations of all tiles; the first `task_count`
+/// positions are the task assignment, the remainder encode empty tiles
+/// (so crossover/mutation stay within the injective-mapping space).
+/// Standard machinery: tournament selection, PMX or OX crossover,
+/// swap/insertion mutation, elitism.
+
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+struct GeneticOptions {
+  std::size_t population = 64;
+  std::size_t tournament = 3;
+  double crossover_rate = 0.9;
+  /// Per-offspring probability of one swap mutation; applied repeatedly
+  /// (geometric number of swaps).
+  double mutation_rate = 0.3;
+  std::size_t elites = 2;
+  enum class Crossover { Pmx, Ox };
+  Crossover crossover = Crossover::Pmx;
+};
+
+class GeneticAlgorithm final : public MappingOptimizer {
+ public:
+  explicit GeneticAlgorithm(GeneticOptions options = {});
+  [[nodiscard]] std::string name() const override { return "ga"; }
+  [[nodiscard]] OptimizerResult optimize(FitnessFunction& fitness,
+                                         std::size_t task_count,
+                                         std::size_t tile_count,
+                                         const OptimizerBudget& budget,
+                                         std::uint64_t seed) const override;
+
+  [[nodiscard]] const GeneticOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  GeneticOptions options_;
+};
+
+/// Exposed for unit testing: PMX (partially mapped crossover) and OX
+/// (order crossover) over permutations, producing one child from two
+/// parents and a cut range [lo, hi].
+[[nodiscard]] std::vector<TileId> pmx_crossover(
+    const std::vector<TileId>& parent_a, const std::vector<TileId>& parent_b,
+    std::size_t lo, std::size_t hi);
+[[nodiscard]] std::vector<TileId> ox_crossover(
+    const std::vector<TileId>& parent_a, const std::vector<TileId>& parent_b,
+    std::size_t lo, std::size_t hi);
+
+}  // namespace phonoc

@@ -1,0 +1,149 @@
+#include "mapping/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+namespace {
+
+/// All-pairs hop distances over the topology's links (BFS per tile).
+std::vector<std::vector<std::uint32_t>> hop_distances(const Topology& topo) {
+  const auto tiles = topo.tile_count();
+  std::vector<std::vector<std::uint32_t>> dist(
+      tiles, std::vector<std::uint32_t>(tiles, ~std::uint32_t{0}));
+  for (TileId src = 0; src < tiles; ++src) {
+    auto& d = dist[src];
+    d[src] = 0;
+    std::queue<TileId> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const auto t = frontier.front();
+      frontier.pop();
+      for (PortId port = 0; port < topo.router_ports(); ++port) {
+        const auto link_id = topo.link_from(t, port);
+        if (link_id == kInvalidLink) continue;
+        const auto next = topo.link(link_id).dst_tile;
+        if (d[next] != ~std::uint32_t{0}) continue;
+        d[next] = d[t] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+GreedyConstructive::GreedyConstructive(CommGraph cg, Topology topology)
+    : cg_(std::move(cg)), topology_(std::move(topology)) {}
+
+OptimizerResult GreedyConstructive::optimize(FitnessFunction& fitness,
+                                             std::size_t task_count,
+                                             std::size_t tile_count,
+                                             const OptimizerBudget& budget,
+                                             std::uint64_t seed) const {
+  require(task_count == cg_.task_count(),
+          "GreedyConstructive: task count mismatch with the CG");
+  require(tile_count == topology_.tile_count(),
+          "GreedyConstructive: tile count mismatch with the topology");
+  SearchState state(fitness, task_count, tile_count, budget, seed);
+
+  const auto dist = hop_distances(topology_);
+  const auto edges = cg_.edges();
+
+  // Per-task total communication volume (in + out), for ordering.
+  std::vector<double> volume(task_count, 0.0);
+  for (const auto& e : edges) {
+    volume[e.src] += e.bandwidth_mbps;
+    volume[e.dst] += e.bandwidth_mbps;
+  }
+  std::vector<NodeId> order(task_count);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (volume[a] != volume[b]) return volume[a] > volume[b];
+    return a < b;
+  });
+
+  // Center tile: minimum total hop distance to all tiles.
+  TileId center = 0;
+  std::uint64_t best_sum = ~std::uint64_t{0};
+  for (TileId t = 0; t < tile_count; ++t) {
+    std::uint64_t sum = 0;
+    for (TileId u = 0; u < tile_count; ++u) sum += dist[t][u];
+    if (sum < best_sum) {
+      best_sum = sum;
+      center = t;
+    }
+  }
+
+  // Constructive placement.
+  std::vector<int> tile_of(task_count, -1);
+  std::vector<bool> occupied(tile_count, false);
+  tile_of[order.front()] = static_cast<int>(center);
+  occupied[center] = true;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto task = order[i];
+    TileId best_tile = kInvalidTile;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (TileId tile = 0; tile < tile_count; ++tile) {
+      if (occupied[tile]) continue;
+      double cost = 0.0;
+      for (const auto& e : edges) {
+        const NodeId partner =
+            e.src == task ? e.dst : (e.dst == task ? e.src : kInvalidNode);
+        if (partner == kInvalidNode || tile_of[partner] < 0) continue;
+        cost += e.bandwidth_mbps *
+                static_cast<double>(
+                    dist[tile][static_cast<TileId>(tile_of[partner])]);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_tile = tile;
+      }
+    }
+    tile_of[task] = static_cast<int>(best_tile);
+    occupied[best_tile] = true;
+  }
+
+  std::vector<TileId> assignment(task_count);
+  for (NodeId t = 0; t < task_count; ++t)
+    assignment[t] = static_cast<TileId>(tile_of[t]);
+  Mapping current = Mapping::from_assignment(std::move(assignment),
+                                             tile_count);
+  double current_fitness = state.evaluate(current);
+
+  // Steepest-descent refinement (single run, no restart).
+  std::uint64_t passes = 0;
+  bool improved = true;
+  while (improved && !state.exhausted()) {
+    ++passes;
+    improved = false;
+    double best_move_fitness = current_fitness;
+    std::pair<TileId, TileId> best_move{0, 0};
+    for (TileId a = 0; a < tile_count && !state.exhausted(); ++a) {
+      for (TileId b = a + 1; b < tile_count && !state.exhausted(); ++b) {
+        if (current.task_at(a) < 0 && current.task_at(b) < 0) continue;
+        current.swap_tiles(a, b);
+        const double moved = state.evaluate(current);
+        current.swap_tiles(a, b);
+        if (moved > best_move_fitness) {
+          best_move_fitness = moved;
+          best_move = {a, b};
+          improved = true;
+        }
+      }
+    }
+    if (improved) {
+      current.swap_tiles(best_move.first, best_move.second);
+      current_fitness = best_move_fitness;
+    }
+  }
+  return state.finish(passes);
+}
+
+}  // namespace phonoc

@@ -1,0 +1,36 @@
+#pragma once
+/// \file greedy.hpp
+/// \brief Greedy constructive mapping + local descent (extension).
+///
+/// Classic NoC-mapping constructive heuristic adapted to the photonic
+/// objectives: order tasks by communication volume, place the first at
+/// the grid center, then place each next task on the empty tile that
+/// minimizes the bandwidth-weighted hop distance to its already-placed
+/// communication partners. The constructed mapping is then refined by
+/// steepest-descent tile swaps until a local optimum or budget
+/// exhaustion. Unlike the context-free optimizers this one needs the CG
+/// and the topology, so it is constructed explicitly (the core Engine
+/// does this for you).
+
+#include "graph/comm_graph.hpp"
+#include "mapping/optimizer.hpp"
+#include "topology/topology.hpp"
+
+namespace phonoc {
+
+class GreedyConstructive final : public MappingOptimizer {
+ public:
+  GreedyConstructive(CommGraph cg, Topology topology);
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] OptimizerResult optimize(FitnessFunction& fitness,
+                                         std::size_t task_count,
+                                         std::size_t tile_count,
+                                         const OptimizerBudget& budget,
+                                         std::uint64_t seed) const override;
+
+ private:
+  CommGraph cg_;
+  Topology topology_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,63 @@
+#pragma once
+/// \file mapping.hpp
+/// \brief The mapping function Omega: C -> T (paper Eq. 5/6): every task
+/// on exactly one tile, every tile hosting at most one task.
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace phonoc {
+
+class Mapping {
+ public:
+  Mapping() = default;
+
+  /// Identity-ish mapping: task i on tile i. Requires tasks <= tiles.
+  static Mapping identity(std::size_t tasks, std::size_t tiles);
+
+  /// Uniform random injective mapping.
+  static Mapping random(std::size_t tasks, std::size_t tiles, Rng& rng);
+
+  /// Adopt an explicit assignment (validated: injective, in range).
+  static Mapping from_assignment(std::vector<TileId> assignment,
+                                 std::size_t tiles);
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return assignment_.size();
+  }
+  [[nodiscard]] std::size_t tile_count() const noexcept {
+    return tile_to_task_.size();
+  }
+
+  [[nodiscard]] TileId tile_of(NodeId task) const;
+  /// Task on `tile`, or -1 when the tile is empty.
+  [[nodiscard]] int task_at(TileId tile) const;
+
+  [[nodiscard]] std::span<const TileId> assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Swap the contents of two tiles (task<->task, task<->empty or
+  /// no-op for empty<->empty). This is the R-PBLA move.
+  void swap_tiles(TileId a, TileId b);
+
+  /// Move `task` to `tile`; the tile must be empty.
+  void move_task(NodeId task, TileId tile);
+
+  [[nodiscard]] bool operator==(const Mapping& other) const noexcept {
+    return assignment_ == other.assignment_ &&
+           tile_count() == other.tile_count();
+  }
+
+ private:
+  Mapping(std::vector<TileId> assignment, std::size_t tiles);
+
+  std::vector<TileId> assignment_;   ///< task -> tile
+  std::vector<int> tile_to_task_;    ///< tile -> task or -1
+};
+
+}  // namespace phonoc

@@ -1,0 +1,48 @@
+#include "mapping/objective.hpp"
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+std::string to_string(OptimizationGoal goal) {
+  return goal == OptimizationGoal::InsertionLoss ? "insertion_loss" : "snr";
+}
+
+CompositeObjective::CompositeObjective(double loss_weight, double snr_weight)
+    : loss_weight_(loss_weight), snr_weight_(snr_weight) {
+  require(loss_weight >= 0.0 && snr_weight >= 0.0 &&
+              loss_weight + snr_weight > 0.0,
+          "CompositeObjective: weights must be non-negative, not both zero");
+}
+
+double CompositeObjective::fitness(const EvaluationResult& r) const {
+  return loss_weight_ * r.worst_loss_db + snr_weight_ * r.worst_snr_db;
+}
+
+BandwidthWeightedLossObjective::BandwidthWeightedLossObjective(
+    const CommGraph& cg) {
+  const double total = cg.total_bandwidth();
+  require(total > 0.0,
+          "BandwidthWeightedLossObjective: CG has no bandwidth annotations");
+  weights_.reserve(cg.communication_count());
+  for (const auto& e : cg.edges())
+    weights_.push_back(e.bandwidth_mbps / total);
+}
+
+double BandwidthWeightedLossObjective::fitness(
+    const EvaluationResult& r) const {
+  require(r.edges.size() == weights_.size(),
+          "BandwidthWeightedLossObjective: evaluation lacks per-edge detail");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    sum += weights_[i] * r.edges[i].loss_db;
+  return sum;
+}
+
+std::unique_ptr<Objective> make_objective(OptimizationGoal goal) {
+  if (goal == OptimizationGoal::InsertionLoss)
+    return std::make_unique<WorstLossObjective>();
+  return std::make_unique<WorstSnrObjective>();
+}
+
+}  // namespace phonoc

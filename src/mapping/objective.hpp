@@ -1,0 +1,85 @@
+#pragma once
+/// \file objective.hpp
+/// \brief Optimization objectives over evaluated mappings.
+///
+/// Fitness is always maximized. The two paper objectives (Eq. 3/4) are
+/// worst-case insertion loss (dB values are negative, so maximizing
+/// pushes the worst edge toward 0 dB) and worst-case SNR. Extensions:
+/// a weighted composite of the two and a bandwidth-weighted average
+/// loss (uses the CG's bandwidth annotations).
+
+#include <memory>
+#include <string>
+
+#include "graph/comm_graph.hpp"
+#include "model/evaluation.hpp"
+
+namespace phonoc {
+
+/// The paper's two optimization goals.
+enum class OptimizationGoal { InsertionLoss, Snr };
+
+[[nodiscard]] std::string to_string(OptimizationGoal goal);
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Higher is better.
+  [[nodiscard]] virtual double fitness(const EvaluationResult& result) const = 0;
+  /// True when fitness() reads EvaluationResult::edges (the evaluator
+  /// must then run with detail enabled).
+  [[nodiscard]] virtual bool needs_detail() const { return false; }
+};
+
+/// Eq. (3): maximize the worst-case insertion loss (toward 0 dB).
+class WorstLossObjective final : public Objective {
+ public:
+  [[nodiscard]] std::string name() const override { return "worst_loss"; }
+  [[nodiscard]] double fitness(const EvaluationResult& r) const override {
+    return r.worst_loss_db;
+  }
+};
+
+/// Eq. (4): maximize the worst-case SNR.
+class WorstSnrObjective final : public Objective {
+ public:
+  [[nodiscard]] std::string name() const override { return "worst_snr"; }
+  [[nodiscard]] double fitness(const EvaluationResult& r) const override {
+    return r.worst_snr_db;
+  }
+};
+
+/// Extension: weighted sum of the two worst-case metrics (both in dB,
+/// so a plain linear combination is meaningful).
+class CompositeObjective final : public Objective {
+ public:
+  /// fitness = loss_weight * worst_loss_db + snr_weight * worst_snr_db.
+  CompositeObjective(double loss_weight, double snr_weight);
+  [[nodiscard]] std::string name() const override { return "composite"; }
+  [[nodiscard]] double fitness(const EvaluationResult& r) const override;
+
+ private:
+  double loss_weight_;
+  double snr_weight_;
+};
+
+/// Extension: maximize the bandwidth-weighted average of per-edge loss
+/// (heavier flows matter more). Needs per-edge detail.
+class BandwidthWeightedLossObjective final : public Objective {
+ public:
+  explicit BandwidthWeightedLossObjective(const CommGraph& cg);
+  [[nodiscard]] std::string name() const override {
+    return "bandwidth_weighted_loss";
+  }
+  [[nodiscard]] bool needs_detail() const override { return true; }
+  [[nodiscard]] double fitness(const EvaluationResult& r) const override;
+
+ private:
+  std::vector<double> weights_;  ///< per-edge bandwidth / total
+};
+
+/// The paper objective for a goal.
+[[nodiscard]] std::unique_ptr<Objective> make_objective(OptimizationGoal goal);
+
+}  // namespace phonoc

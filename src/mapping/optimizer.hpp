@@ -1,0 +1,108 @@
+#pragma once
+/// \file optimizer.hpp
+/// \brief Mapping-optimizer interface and the shared search bookkeeping
+/// (budget, incumbent tracking, improvement trace).
+///
+/// Optimizers are deterministic functions of (fitness function, problem
+/// dimensions, budget, seed). Budgets are expressed in evaluations by
+/// default — the machine-independent analogue of the paper's "same
+/// running time" rule — with an optional wall-clock cap.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace phonoc {
+
+/// Fitness callback: higher is better. Implemented by core::Evaluator.
+class FitnessFunction {
+ public:
+  virtual ~FitnessFunction() = default;
+  [[nodiscard]] virtual double evaluate(const Mapping& mapping) = 0;
+};
+
+struct OptimizerBudget {
+  /// Hard cap on fitness evaluations (0 = unlimited; then max_seconds
+  /// must be set).
+  std::uint64_t max_evaluations = 20000;
+  /// Wall-clock cap in seconds (0 = none).
+  double max_seconds = 0.0;
+};
+
+/// One improvement event: evaluation count at which a new incumbent was
+/// found, and its fitness.
+struct ImprovementEvent {
+  std::uint64_t evaluation;
+  double fitness;
+};
+
+struct OptimizerResult {
+  Mapping best;
+  double best_fitness = 0.0;
+  std::uint64_t evaluations = 0;
+  double seconds = 0.0;
+  std::vector<ImprovementEvent> trace;
+  /// Algorithm-specific counter (GA: generations; R-PBLA: restarts;
+  /// SA: temperature steps). Informational.
+  std::uint64_t iterations = 0;
+};
+
+/// Shared bookkeeping used by every optimizer implementation.
+class SearchState {
+ public:
+  SearchState(FitnessFunction& fitness, std::size_t task_count,
+              std::size_t tile_count, OptimizerBudget budget,
+              std::uint64_t seed);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_; }
+  [[nodiscard]] std::size_t tile_count() const noexcept { return tiles_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// True once the evaluation or time budget is exhausted.
+  [[nodiscard]] bool exhausted() const;
+
+  /// Evaluate a candidate, tracking the incumbent and the trace.
+  double evaluate(const Mapping& mapping);
+
+  [[nodiscard]] bool has_best() const noexcept { return has_best_; }
+  [[nodiscard]] const Mapping& best() const;
+  [[nodiscard]] double best_fitness() const noexcept { return best_fitness_; }
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evals_; }
+
+  /// Package the result; `iterations` is the algorithm-specific counter.
+  [[nodiscard]] OptimizerResult finish(std::uint64_t iterations) const;
+
+ private:
+  FitnessFunction& fitness_;
+  std::size_t tasks_;
+  std::size_t tiles_;
+  OptimizerBudget budget_;
+  Rng rng_;
+  Timer timer_;
+  std::uint64_t evals_ = 0;
+  bool has_best_ = false;
+  Mapping best_;
+  double best_fitness_ = 0.0;
+  std::vector<ImprovementEvent> trace_;
+};
+
+class MappingOptimizer {
+ public:
+  virtual ~MappingOptimizer() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Run the search. Guarantees at least one evaluation even with a
+  /// zero budget so the result always carries a valid mapping.
+  [[nodiscard]] virtual OptimizerResult optimize(FitnessFunction& fitness,
+                                                 std::size_t task_count,
+                                                 std::size_t tile_count,
+                                                 const OptimizerBudget& budget,
+                                                 std::uint64_t seed) const = 0;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,19 @@
+#include "mapping/random_search.hpp"
+
+namespace phonoc {
+
+OptimizerResult RandomSearch::optimize(FitnessFunction& fitness,
+                                       std::size_t task_count,
+                                       std::size_t tile_count,
+                                       const OptimizerBudget& budget,
+                                       std::uint64_t seed) const {
+  SearchState state(fitness, task_count, tile_count, budget, seed);
+  std::uint64_t samples = 0;
+  do {
+    state.evaluate(Mapping::random(task_count, tile_count, state.rng()));
+    ++samples;
+  } while (!state.exhausted());
+  return state.finish(samples);
+}
+
+}  // namespace phonoc

@@ -1,0 +1,20 @@
+#pragma once
+/// \file random_search.hpp
+/// \brief Random search (paper baseline): sample random injective
+/// mappings and keep the best.
+
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+class RandomSearch final : public MappingOptimizer {
+ public:
+  [[nodiscard]] std::string name() const override { return "rs"; }
+  [[nodiscard]] OptimizerResult optimize(FitnessFunction& fitness,
+                                         std::size_t task_count,
+                                         std::size_t tile_count,
+                                         const OptimizerBudget& budget,
+                                         std::uint64_t seed) const override;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,65 @@
+#include "mapping/rpbla.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace phonoc {
+
+Rpbla::Rpbla(RpblaOptions options) : options_(options) {}
+
+OptimizerResult Rpbla::optimize(FitnessFunction& fitness,
+                                std::size_t task_count,
+                                std::size_t tile_count,
+                                const OptimizerBudget& budget,
+                                std::uint64_t seed) const {
+  SearchState state(fitness, task_count, tile_count, budget, seed);
+  auto& rng = state.rng();
+
+  // Enumerate candidate tile pairs once; the random permutation of the
+  // list (re-shuffled per descent step) provides unbiased tie-breaking.
+  std::vector<std::pair<TileId, TileId>> pairs;
+  for (TileId a = 0; a < tile_count; ++a)
+    for (TileId b = a + 1; b < tile_count; ++b) pairs.emplace_back(a, b);
+
+  std::uint64_t restarts = 0;
+  while (!state.exhausted()) {
+    ++restarts;
+    Mapping current = Mapping::random(task_count, tile_count, rng);
+    double current_fitness = state.evaluate(current);
+
+    bool at_local_minimum = false;
+    while (!at_local_minimum && !state.exhausted()) {
+      rng.shuffle(pairs);
+      double best_move_fitness = current_fitness;
+      std::pair<TileId, TileId> best_move{0, 0};
+      bool found = false;
+      // Build the move list: every admitted swap, scored by the cost of
+      // the mapping it produces; the best entry of the list is taken.
+      for (const auto& [a, b] : pairs) {
+        if (state.exhausted()) break;
+        if (options_.skip_empty_pairs && current.task_at(a) < 0 &&
+            current.task_at(b) < 0)
+          continue;  // swapping two empty tiles changes nothing
+        current.swap_tiles(a, b);
+        const double moved = state.evaluate(current);
+        current.swap_tiles(a, b);  // undo
+        if (moved > best_move_fitness) {
+          best_move_fitness = moved;
+          best_move = {a, b};
+          found = true;
+        }
+      }
+      if (found) {
+        current.swap_tiles(best_move.first, best_move.second);
+        current_fitness = best_move_fitness;
+      } else {
+        // No downhill move: local minimum. SearchState already recorded
+        // the incumbent; restart from a fresh random point.
+        at_local_minimum = true;
+      }
+    }
+  }
+  return state.finish(restarts);
+}
+
+}  // namespace phonoc

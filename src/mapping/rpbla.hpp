@@ -1,0 +1,38 @@
+#pragma once
+/// \file rpbla.hpp
+/// \brief R-PBLA — the paper's randomized priority-based list algorithm
+/// (§II-D2).
+///
+/// From a random starting mapping, repeatedly consider the full list of
+/// admitted moves (swapping the contents of two tiles), ordered by the
+/// worst-case cost each move would yield, and take the best one. Uphill
+/// moves are never taken; when no move improves the current mapping (a
+/// local minimum), the solution is recorded and the search restarts
+/// from a fresh random mapping, hoping to fall into a different region
+/// of attraction. The best recorded local minimum wins.
+
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+struct RpblaOptions {
+  /// Evaluate only tile pairs where at least one tile hosts a task
+  /// (swapping two empty tiles is always a no-op move).
+  bool skip_empty_pairs = true;
+};
+
+class Rpbla final : public MappingOptimizer {
+ public:
+  explicit Rpbla(RpblaOptions options = {});
+  [[nodiscard]] std::string name() const override { return "rpbla"; }
+  [[nodiscard]] OptimizerResult optimize(FitnessFunction& fitness,
+                                         std::size_t task_count,
+                                         std::size_t tile_count,
+                                         const OptimizerBudget& budget,
+                                         std::uint64_t seed) const override;
+
+ private:
+  RpblaOptions options_;
+};
+
+}  // namespace phonoc

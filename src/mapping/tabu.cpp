@@ -1,0 +1,77 @@
+#include "mapping/tabu.hpp"
+
+#include <map>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+TabuSearch::TabuSearch(TabuOptions options) : options_(options) {
+  require(options_.candidates_per_tile > 0.0,
+          "TabuSearch: candidates_per_tile must be positive");
+  require(options_.tenure >= 1, "TabuSearch: tenure must be >= 1");
+  require(options_.restart_after >= 1,
+          "TabuSearch: restart_after must be >= 1");
+}
+
+OptimizerResult TabuSearch::optimize(FitnessFunction& fitness,
+                                     std::size_t task_count,
+                                     std::size_t tile_count,
+                                     const OptimizerBudget& budget,
+                                     std::uint64_t seed) const {
+  SearchState state(fitness, task_count, tile_count, budget, seed);
+  auto& rng = state.rng();
+
+  Mapping current = Mapping::random(task_count, tile_count, rng);
+  double current_fitness = state.evaluate(current);
+  // Tabu book-keeping: (a, b) -> iteration until which the pair is tabu.
+  std::map<std::pair<TileId, TileId>, std::uint64_t> tabu_until;
+  const auto candidates = static_cast<std::size_t>(std::max(
+      1.0, options_.candidates_per_tile * static_cast<double>(tile_count)));
+
+  std::uint64_t iteration = 0;
+  std::size_t stagnation = 0;
+  while (!state.exhausted()) {
+    ++iteration;
+    bool found = false;
+    double best_move_fitness = 0.0;
+    std::pair<TileId, TileId> best_move{0, 0};
+    for (std::size_t c = 0; c < candidates && !state.exhausted(); ++c) {
+      auto a = static_cast<TileId>(rng.next_below(tile_count));
+      auto b = static_cast<TileId>(rng.next_below(tile_count));
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      if (current.task_at(a) < 0 && current.task_at(b) < 0) continue;
+      current.swap_tiles(a, b);
+      const double moved = state.evaluate(current);
+      current.swap_tiles(a, b);
+      const auto it = tabu_until.find({a, b});
+      const bool is_tabu = it != tabu_until.end() && it->second > iteration;
+      // Aspiration: a tabu move is admitted when it beats the incumbent.
+      if (is_tabu && moved <= state.best_fitness()) continue;
+      if (!found || moved > best_move_fitness) {
+        found = true;
+        best_move_fitness = moved;
+        best_move = {a, b};
+      }
+    }
+    if (found) {
+      current.swap_tiles(best_move.first, best_move.second);
+      tabu_until[best_move] = iteration + options_.tenure;
+      stagnation = best_move_fitness > current_fitness ? 0 : stagnation + 1;
+      current_fitness = best_move_fitness;
+    } else {
+      ++stagnation;
+    }
+    if (stagnation >= options_.restart_after) {
+      current = Mapping::random(task_count, tile_count, rng);
+      current_fitness = state.evaluate(current);
+      tabu_until.clear();
+      stagnation = 0;
+    }
+  }
+  return state.finish(iteration);
+}
+
+}  // namespace phonoc

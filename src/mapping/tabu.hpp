@@ -1,0 +1,34 @@
+#pragma once
+/// \file tabu.hpp
+/// \brief Tabu search over tile swaps (extension; registered as "tabu").
+
+#include "mapping/optimizer.hpp"
+
+namespace phonoc {
+
+struct TabuOptions {
+  /// Number of candidate swaps sampled per iteration, as a multiple of
+  /// tile count.
+  double candidates_per_tile = 2.0;
+  /// Iterations for which a swapped tile pair stays tabu.
+  std::size_t tenure = 16;
+  /// Restart from a random mapping after this many non-improving
+  /// iterations.
+  std::size_t restart_after = 64;
+};
+
+class TabuSearch final : public MappingOptimizer {
+ public:
+  explicit TabuSearch(TabuOptions options = {});
+  [[nodiscard]] std::string name() const override { return "tabu"; }
+  [[nodiscard]] OptimizerResult optimize(FitnessFunction& fitness,
+                                         std::size_t task_count,
+                                         std::size_t tile_count,
+                                         const OptimizerBudget& budget,
+                                         std::uint64_t seed) const override;
+
+ private:
+  TabuOptions options_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,41 @@
+#pragma once
+/// \file crosstalk_analysis.hpp
+/// \brief Detailed crosstalk breakdown: which attacker hurts which
+/// victim, at which router, and by how much. Used by the reporting
+/// example, the tests, and anyone debugging a mapping's SNR.
+
+#include <span>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "model/network_model.hpp"
+
+namespace phonoc {
+
+/// One noise injection event onto a victim communication.
+struct NoiseEvent {
+  EdgeId attacker_edge = 0;      ///< index into the CG edge list
+  TileId router_tile = 0;        ///< router where the leak happens
+  double attacker_power = 0.0;   ///< linear attacker power entering the router
+  double coefficient = 0.0;      ///< linear leak coefficient (pair matrix)
+  double downstream_gain = 0.0;  ///< victim-side gain from router to detector
+  double noise_at_detector = 0.0;  ///< product of the three above
+};
+
+/// All noise received by one victim communication under a mapping.
+struct VictimReport {
+  EdgeId victim_edge = 0;
+  double signal_gain = 0.0;  ///< linear end-to-end signal gain
+  double total_noise = 0.0;  ///< linear sum over events
+  double snr_db = 0.0;       ///< clamped to the model ceiling
+  std::vector<NoiseEvent> events;
+};
+
+/// Per-victim crosstalk reports for every communication of `cg` under
+/// `assignment` (same contract as evaluate_mapping). Event lists are
+/// sorted by decreasing noise contribution.
+[[nodiscard]] std::vector<VictimReport> analyze_crosstalk(
+    const NetworkModel& net, const CommGraph& cg,
+    std::span<const TileId> assignment);
+
+}  // namespace phonoc

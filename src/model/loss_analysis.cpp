@@ -1,0 +1,41 @@
+#include "model/loss_analysis.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace phonoc {
+
+LossBreakdown analyze_path_loss(const NetworkModel& net, TileId src,
+                                TileId dst) {
+  const auto& path = net.path(src, dst);
+  const auto& router = net.router();
+  const auto& topo = net.topology();
+
+  LossBreakdown breakdown;
+  breakdown.hop_count = path.hops.size();
+  breakdown.link_length_cm = path.link_length_cm;
+
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const auto& hop = path.hops[i];
+    breakdown.contributions.push_back(LossContribution{
+        LossContribution::Kind::RouterConnection, hop.tile,
+        standard_port_name(hop.in_port) + "->" +
+            standard_port_name(hop.out_port),
+        router.connection_loss_db(path.conn[i])});
+    breakdown.total_db += router.connection_loss_db(path.conn[i]);
+    if (i + 1 < path.hops.size()) {
+      // Recover the link length from the hop pair via the topology.
+      const auto link_id = topo.link_from(hop.tile, hop.out_port);
+      const double len = topo.link(link_id).length_cm;
+      const double db =
+          router.linear_parameters().propagation_db_per_cm * len;
+      breakdown.contributions.push_back(LossContribution{
+          LossContribution::Kind::LinkPropagation, hop.tile,
+          "link " + format_fixed(len, 3) + " cm", db});
+      breakdown.total_db += db;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace phonoc

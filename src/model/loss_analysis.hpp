@@ -1,0 +1,34 @@
+#pragma once
+/// \file loss_analysis.hpp
+/// \brief Detailed insertion-loss breakdown of a single path (used by
+/// the reporting example and the model unit tests).
+
+#include <string>
+#include <vector>
+
+#include "model/network_model.hpp"
+
+namespace phonoc {
+
+/// One contribution to a path's insertion loss.
+struct LossContribution {
+  enum class Kind { RouterConnection, LinkPropagation };
+  Kind kind;
+  TileId tile;         ///< router tile (RouterConnection) or link source
+  std::string label;   ///< e.g. "L->E" or "link 0.25 cm"
+  double loss_db;      ///< contribution in dB (<= 0)
+};
+
+struct LossBreakdown {
+  std::vector<LossContribution> contributions;
+  double total_db = 0.0;
+  std::size_t hop_count = 0;
+  double link_length_cm = 0.0;
+};
+
+/// Decompose the (src, dst) insertion loss into per-router and per-link
+/// contributions. The contributions sum to the path's total loss.
+[[nodiscard]] LossBreakdown analyze_path_loss(const NetworkModel& net,
+                                              TileId src, TileId dst);
+
+}  // namespace phonoc

@@ -1,0 +1,56 @@
+#include "model/network_model.hpp"
+
+#include <algorithm>
+
+#include "model/path_builder.hpp"
+#include "util/error.hpp"
+
+namespace phonoc {
+
+NetworkModel::NetworkModel(Topology topology, RouterModelPtr router,
+                           std::shared_ptr<const RoutingAlgorithm> routing,
+                           NetworkModelOptions options)
+    : topology_(std::move(topology)),
+      router_(std::move(router)),
+      routing_(std::move(routing)),
+      options_(options) {
+  require(router_ != nullptr, "NetworkModel: null router model");
+  require(routing_ != nullptr, "NetworkModel: null routing algorithm");
+  topology_.validate();
+  require_model(topology_.router_ports() <= router_->port_count(),
+                "NetworkModel: topology uses more ports than the router has");
+  require(options_.snr_ceiling_db > 0.0,
+          "NetworkModel: snr_ceiling_db must be positive");
+
+  const auto tiles = topology_.tile_count();
+  require_model(tiles <= 32768,
+                "NetworkModel: tile count exceeds PathData index range");
+  paths_.resize(tiles * tiles);
+  for (TileId src = 0; src < tiles; ++src) {
+    for (TileId dst = 0; dst < tiles; ++dst) {
+      if (src == dst) continue;
+      const auto route = routing_->compute_route(topology_, src, dst);
+      validate_route(topology_, route, src, dst);
+      paths_[src * tiles + dst] = build_path_data(topology_, *router_, route);
+    }
+  }
+}
+
+const PathData& NetworkModel::path(TileId src, TileId dst) const {
+  const auto tiles = topology_.tile_count();
+  require(src < tiles && dst < tiles, "NetworkModel::path: tile out of range");
+  require(src != dst, "NetworkModel::path: src == dst");
+  return paths_[src * tiles + dst];
+}
+
+double NetworkModel::worst_case_path_loss_db() const {
+  double worst = 0.0;
+  const auto tiles = topology_.tile_count();
+  for (TileId src = 0; src < tiles; ++src)
+    for (TileId dst = 0; dst < tiles; ++dst)
+      if (src != dst)
+        worst = std::min(worst, paths_[src * tiles + dst].total_loss_db);
+  return worst;
+}
+
+}  // namespace phonoc

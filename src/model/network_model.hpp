@@ -1,0 +1,119 @@
+#pragma once
+/// \file network_model.hpp
+/// \brief Composition of topology + router microarchitecture + routing
+/// into a fully precomputed photonic network model.
+///
+/// For every ordered tile pair the model stores the route together with
+/// the per-hop quantities the analyses need in O(1): the connection
+/// index at each router, the attacker-side prefix gain (power arriving
+/// at each hop's router input) and the victim-side suffix gain (from
+/// each hop's router output to the destination detector). Building the
+/// model validates that the routing algorithm only requests connections
+/// the router actually supports.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "router/router_model.hpp"
+#include "routing/route.hpp"
+#include "topology/topology.hpp"
+
+namespace phonoc {
+
+/// How the crosstalk analysis treats connection pairs that cannot be
+/// simultaneously active in one router (see PairAnalysis::conflict).
+enum class ConflictPolicy {
+  /// Skip conflicting pairs' contribution at that router (default;
+  /// matches the feasibility constraints of circuit-switched photonic
+  /// NoCs).
+  Exclude,
+  /// Sum every pair regardless (naive worst case; ablation A2).
+  Ignore,
+};
+
+struct NetworkModelOptions {
+  ModelFidelity fidelity = ModelFidelity::Simplified;
+  ConflictPolicy conflict_policy = ConflictPolicy::Exclude;
+  /// SNR reported for a communication with zero accumulated noise, dB.
+  double snr_ceiling_db = 200.0;
+};
+
+/// Precomputed route data for one ordered tile pair.
+struct PathData {
+  std::vector<Hop> hops;
+  /// Router connection index per hop (into the shared RouterModel).
+  std::vector<std::uint16_t> conn;
+  /// Linear gain from injected power to the input of hop i's router.
+  std::vector<double> arrive_gain;
+  /// Linear gain from hop i's router output to the destination detector.
+  std::vector<double> exit_suffix;
+  /// End-to-end linear gain and the same in dB.
+  double total_gain = 1.0;
+  double total_loss_db = 0.0;
+  /// Total waveguide length over links, cm.
+  double link_length_cm = 0.0;
+  /// hop_at_tile[tile] = hop index on this path, or -1.
+  std::vector<std::int16_t> hop_at_tile;
+
+  /// Hop index at `tile`, or -1 when the path does not visit it.
+  [[nodiscard]] int hop_index_at(TileId tile) const noexcept {
+    return hop_at_tile[tile];
+  }
+};
+
+class NetworkModel {
+ public:
+  /// Builds and verifies all tile-pair paths. Throws ModelError when the
+  /// routing algorithm emits a connection the router lacks.
+  NetworkModel(Topology topology, RouterModelPtr router,
+               std::shared_ptr<const RoutingAlgorithm> routing,
+               NetworkModelOptions options = {});
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const RouterModel& router() const noexcept { return *router_; }
+  [[nodiscard]] const RoutingAlgorithm& routing() const noexcept {
+    return *routing_;
+  }
+  [[nodiscard]] const NetworkModelOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] std::size_t tile_count() const noexcept {
+    return topology_.tile_count();
+  }
+
+  /// Path for src != dst (both in range).
+  [[nodiscard]] const PathData& path(TileId src, TileId dst) const;
+
+  /// Insertion loss of the (src, dst) communication, dB (<= 0).
+  [[nodiscard]] double path_loss_db(TileId src, TileId dst) const {
+    return path(src, dst).total_loss_db;
+  }
+
+  /// Crosstalk coefficient used by the analyses: linear noise gain for
+  /// the (victim conn, attacker conn) pair at one router under this
+  /// model's fidelity and conflict policy.
+  [[nodiscard]] double pair_noise_gain(std::uint16_t victim_conn,
+                                       std::uint16_t attacker_conn) const {
+    if (options_.conflict_policy == ConflictPolicy::Exclude &&
+        router_->conflicts(victim_conn, attacker_conn))
+      return 0.0;
+    return router_->crosstalk_gain(victim_conn, attacker_conn,
+                                   options_.fidelity);
+  }
+
+  /// Worst path loss over all ordered tile pairs (network property,
+  /// independent of any mapping), dB.
+  [[nodiscard]] double worst_case_path_loss_db() const;
+
+ private:
+  Topology topology_;
+  RouterModelPtr router_;
+  std::shared_ptr<const RoutingAlgorithm> routing_;
+  NetworkModelOptions options_;
+  /// paths_[src * tiles + dst]; diagonal entries unused.
+  std::vector<PathData> paths_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,64 @@
+#include "model/path_builder.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace phonoc {
+
+PathData build_path_data(const Topology& topology, const RouterModel& router,
+                         const Route& route) {
+  PathData data;
+  data.hops = route.hops;
+  const auto n = route.hops.size();
+  data.conn.reserve(n);
+
+  const auto& linear = router.linear_parameters();
+
+  // Per-hop connection indices (validated against the router).
+  for (const auto& hop : route.hops) {
+    const int idx = router.connection_index(hop.in_port, hop.out_port);
+    require_model(idx >= 0,
+                  "router '" + router.name() + "' does not support the " +
+                      standard_port_name(hop.in_port) + "->" +
+                      standard_port_name(hop.out_port) +
+                      " connection required by the routing algorithm");
+    data.conn.push_back(static_cast<std::uint16_t>(idx));
+  }
+
+  // Link gains between consecutive hops.
+  std::vector<double> link_gain(route.links.size(), 1.0);
+  for (std::size_t i = 0; i < route.links.size(); ++i) {
+    const double len = topology.link(route.links[i]).length_cm;
+    data.link_length_cm += len;
+    link_gain[i] = linear.propagation_gain(len);
+  }
+
+  // Prefix: power arriving at hop i's router input.
+  data.arrive_gain.assign(n, 1.0);
+  for (std::size_t i = 1; i < n; ++i)
+    data.arrive_gain[i] = data.arrive_gain[i - 1] *
+                          router.connection_gain(data.conn[i - 1]) *
+                          link_gain[i - 1];
+
+  // Suffix: gain from hop i's router output to the detector.
+  data.exit_suffix.assign(n, 1.0);
+  for (std::size_t i = n - 1; i-- > 0;)
+    data.exit_suffix[i] = link_gain[i] *
+                          router.connection_gain(data.conn[i + 1]) *
+                          data.exit_suffix[i + 1];
+
+  data.total_gain = data.arrive_gain[n - 1] *
+                    router.connection_gain(data.conn[n - 1]);
+  data.total_loss_db = linear_to_db(data.total_gain);
+
+  data.hop_at_tile.assign(topology.tile_count(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    require_model(data.hop_at_tile[route.hops[i].tile] < 0,
+                  "route visits a tile twice (unsupported by the "
+                  "crosstalk analysis)");
+    data.hop_at_tile[route.hops[i].tile] = static_cast<std::int16_t>(i);
+  }
+  return data;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,15 @@
+#pragma once
+/// \file path_builder.hpp
+/// \brief Route -> PathData conversion (prefix/suffix gain tables).
+
+#include "model/network_model.hpp"
+
+namespace phonoc {
+
+/// Convert a validated route into the precomputed PathData form.
+/// Throws ModelError if a hop requires a connection the router lacks.
+[[nodiscard]] PathData build_path_data(const Topology& topology,
+                                       const RouterModel& router,
+                                       const Route& route);
+
+}  // namespace phonoc

@@ -1,0 +1,31 @@
+#include "model/power_budget.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace phonoc {
+
+PowerBudget compute_power_budget(double worst_loss_db,
+                                 const PowerBudgetOptions& options) {
+  require(worst_loss_db <= 0.0,
+          "compute_power_budget: worst_loss_db must be <= 0");
+  require(options.wavelength_channels >= 1,
+          "compute_power_budget: at least one wavelength channel");
+
+  PowerBudget budget;
+  // P_laser >= sensitivity + |loss| + margin (all dB-domain).
+  budget.required_power_dbm = options.detector_sensitivity_dbm -
+                              worst_loss_db + options.margin_db;
+  // The nonlinearity ceiling applies to the total power in a waveguide;
+  // with N wavelengths each channel gets 1/N of it.
+  budget.available_power_dbm =
+      options.max_injected_power_dbm -
+      10.0 * std::log10(static_cast<double>(options.wavelength_channels));
+  budget.slack_db = budget.available_power_dbm - budget.required_power_dbm;
+  budget.feasible = budget.slack_db >= 0.0;
+  return budget;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,45 @@
+#pragma once
+/// \file power_budget.hpp
+/// \brief Laser power budget / scalability analysis.
+///
+/// The paper's motivation (§I): the injected optical power must exceed
+/// the photodetector sensitivity plus the worst-case loss, while staying
+/// below the silicon nonlinearity ceiling — so reducing worst-case
+/// insertion loss directly buys network scalability. This module turns a
+/// worst-case loss figure into a laser-power requirement and a
+/// feasibility verdict, and the scalability bench (E5) sweeps network
+/// sizes with it.
+
+#include <cstdint>
+
+namespace phonoc {
+
+struct PowerBudgetOptions {
+  /// Photodetector sensitivity, dBm (typical chip-scale receiver).
+  double detector_sensitivity_dbm = -20.0;
+  /// Maximum per-wavelength power injectable before silicon
+  /// nonlinearities, dBm.
+  double max_injected_power_dbm = 10.0;
+  /// System margin added on top of sensitivity + loss, dB.
+  double margin_db = 1.0;
+  /// Wavelength channels sharing the waveguide (multi-wavelength signals
+  /// tighten the ceiling: total power splits across channels).
+  std::uint32_t wavelength_channels = 1;
+};
+
+struct PowerBudget {
+  /// Required injected power per wavelength, dBm.
+  double required_power_dbm = 0.0;
+  /// Ceiling per wavelength after dividing the total across channels, dBm.
+  double available_power_dbm = 0.0;
+  /// available - required, dB; feasible iff >= 0.
+  double slack_db = 0.0;
+  bool feasible = false;
+};
+
+/// Budget for a network whose worst-case insertion loss is
+/// `worst_loss_db` (a value <= 0, as reported by the evaluator).
+[[nodiscard]] PowerBudget compute_power_budget(
+    double worst_loss_db, const PowerBudgetOptions& options = {});
+
+}  // namespace phonoc

@@ -1,0 +1,71 @@
+#pragma once
+/// \file wavelength.hpp
+/// \brief WDM extension: wavelength-channel assignment for crosstalk
+/// mitigation.
+///
+/// The paper (§I) notes that multiwavelength signals make both power
+/// budget and crosstalk harder — but WDM also offers a lever the static
+/// mapping cannot: two communications carried on different wavelength
+/// channels couple only through the (filtered) inter-channel response
+/// of the rings and crossings. This module builds the interference
+/// graph between mapped communications (pairwise noise coefficients
+/// from the derived router matrices), assigns channels greedily —
+/// heaviest-interfering communication first, each placed on the channel
+/// that minimizes the intra-channel noise it joins — and re-evaluates
+/// the worst-case SNR with cross-channel contributions attenuated by a
+/// configurable isolation factor.
+///
+/// This composes with mapping optimization (map first, color second)
+/// and is exercised by `bench_wdm_channels` and the property tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "model/evaluation.hpp"
+#include "model/network_model.hpp"
+
+namespace phonoc {
+
+struct WdmOptions {
+  /// Number of wavelength channels available.
+  std::uint32_t channels = 1;
+  /// Attenuation applied to crosstalk between communications on
+  /// different channels, dB (<= 0). Models the ring filter roll-off;
+  /// -300 dB is effectively ideal filtering.
+  double inter_channel_isolation_db = -30.0;
+};
+
+struct WdmAssignment {
+  /// channel[i] = wavelength channel of CG edge i, in [0, channels).
+  std::vector<std::uint32_t> channel;
+  std::uint32_t channels_used = 0;
+  /// Total intra-channel pairwise noise weight after assignment
+  /// (the greedy objective; useful for reporting/regression).
+  double residual_weight = 0.0;
+};
+
+/// Pairwise interference weights under a mapping: w[i][j] = linear noise
+/// power edge j injects onto edge i's detector (not symmetric).
+[[nodiscard]] std::vector<std::vector<double>> interference_matrix(
+    const NetworkModel& net, const CommGraph& cg,
+    std::span<const TileId> assignment);
+
+/// Greedy channel assignment (largest-total-interference first; each
+/// communication joins the channel minimizing the added intra-channel
+/// weight, ties to the lowest channel index). Deterministic.
+[[nodiscard]] WdmAssignment assign_wavelengths(
+    const NetworkModel& net, const CommGraph& cg,
+    std::span<const TileId> assignment, const WdmOptions& options);
+
+/// Worst-case evaluation with the channel assignment applied:
+/// same-channel attackers contribute fully, cross-channel attackers are
+/// attenuated by the isolation factor. With channels == 1 this equals
+/// evaluate_mapping exactly.
+[[nodiscard]] EvaluationResult evaluate_mapping_wdm(
+    const NetworkModel& net, const CommGraph& cg,
+    std::span<const TileId> assignment, const WdmAssignment& wdm,
+    const WdmOptions& options, bool detailed = false);
+
+}  // namespace phonoc

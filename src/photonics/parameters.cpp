@@ -1,0 +1,27 @@
+#include "photonics/parameters.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+void PhysicalParameters::validate() const {
+  const auto check = [](double db, const char* name) {
+    require(std::isfinite(db), std::string("PhysicalParameters: ") + name +
+                                   " must be finite");
+    require(db <= 0.0, std::string("PhysicalParameters: ") + name +
+                           " must be <= 0 dB (passive component)");
+  };
+  check(crossing_loss_db, "crossing_loss_db");
+  check(propagation_loss_db_per_cm, "propagation_loss_db_per_cm");
+  check(ppse_off_loss_db, "ppse_off_loss_db");
+  check(ppse_on_loss_db, "ppse_on_loss_db");
+  check(cpse_off_loss_db, "cpse_off_loss_db");
+  check(cpse_on_loss_db, "cpse_on_loss_db");
+  check(crossing_crosstalk_db, "crossing_crosstalk_db");
+  check(pse_off_crosstalk_db, "pse_off_crosstalk_db");
+  check(pse_on_crosstalk_db, "pse_on_crosstalk_db");
+}
+
+}  // namespace phonoc

@@ -1,0 +1,82 @@
+#pragma once
+/// \file parameters.hpp
+/// \brief Physical-layer loss and crosstalk coefficients (paper Table I).
+///
+/// All coefficients are expressed in dB (losses negative). The paper's
+/// built-in values are the defaults; every field is user-overridable,
+/// matching the tool's "physical parameters" library (Fig. 1, block 2).
+
+#include "util/units.hpp"
+
+namespace phonoc {
+
+/// Loss / crosstalk parameters of the photonic building blocks.
+struct PhysicalParameters {
+  // --- Losses (dB, <= 0) -------------------------------------------------
+  /// Crossing loss Lc: power lost traversing a waveguide crossing.
+  double crossing_loss_db = -0.04;
+  /// Propagation loss in silicon Lp, per centimetre of waveguide.
+  double propagation_loss_db_per_cm = -0.274;
+  /// PPSE through loss in OFF state, Lp,off.
+  double ppse_off_loss_db = -0.005;
+  /// PPSE drop loss in ON state, Lp,on.
+  double ppse_on_loss_db = -0.5;
+  /// CPSE through loss in OFF state, Lc,off.
+  double cpse_off_loss_db = -0.045;
+  /// CPSE drop loss in ON state, Lc,on.
+  double cpse_on_loss_db = -0.5;
+
+  // --- Crosstalk coefficients (dB, <= 0) ---------------------------------
+  /// Crossing crosstalk Kc: fraction coupled into the crossing waveguide.
+  double crossing_crosstalk_db = -40.0;
+  /// PSE crosstalk in OFF state, Kp,off (applies to PPSE and CPSE rings).
+  double pse_off_crosstalk_db = -20.0;
+  /// PSE crosstalk in ON state, Kp,on.
+  double pse_on_crosstalk_db = -25.0;
+
+  /// Paper defaults (Table I).
+  [[nodiscard]] static PhysicalParameters paper_defaults() noexcept {
+    return PhysicalParameters{};
+  }
+
+  /// Throws InvalidArgument when any coefficient is positive (a gain) or
+  /// non-finite; the model assumes passive photonic components.
+  void validate() const;
+};
+
+/// Linear-domain view of PhysicalParameters, precomputed once per model
+/// build so the hot evaluation path never calls pow().
+struct LinearParameters {
+  double crossing_loss;
+  double ppse_off_loss;
+  double ppse_on_loss;
+  double cpse_off_loss;
+  double cpse_on_loss;
+  double crossing_crosstalk;
+  double pse_off_crosstalk;
+  double pse_on_crosstalk;
+  /// dB/cm kept in dB form: propagation is applied per-length.
+  double propagation_db_per_cm;
+
+  [[nodiscard]] static LinearParameters from(
+      const PhysicalParameters& p) noexcept {
+    return LinearParameters{
+        db_to_linear(p.crossing_loss_db),
+        db_to_linear(p.ppse_off_loss_db),
+        db_to_linear(p.ppse_on_loss_db),
+        db_to_linear(p.cpse_off_loss_db),
+        db_to_linear(p.cpse_on_loss_db),
+        db_to_linear(p.crossing_crosstalk_db),
+        db_to_linear(p.pse_off_crosstalk_db),
+        db_to_linear(p.pse_on_crosstalk_db),
+        p.propagation_loss_db_per_cm,
+    };
+  }
+
+  /// Linear gain of `length_cm` of waveguide.
+  [[nodiscard]] double propagation_gain(double length_cm) const noexcept {
+    return db_to_linear(propagation_db_per_cm * length_cm);
+  }
+};
+
+}  // namespace phonoc

@@ -1,0 +1,71 @@
+#include "router/crossbar.hpp"
+
+#include <string>
+#include <vector>
+
+#include "router/ports.hpp"
+#include "util/error.hpp"
+
+namespace phonoc {
+
+bool xy_legal_connection(PortId in_port, PortId out_port) {
+  if (in_port == out_port) return false;
+  if (in_port == kPortLocal || out_port == kPortLocal) return true;
+  const bool in_is_y = in_port == kPortNorth || in_port == kPortSouth;
+  if (in_is_y) return out_port == opposite_port(in_port);  // Y: straight only
+  return true;  // X input: straight or any X->Y turn
+}
+
+RouterNetlist build_crossbar(const CrossbarOptions& options) {
+  const auto n = options.ports;
+  require(n >= 2, "build_crossbar: at least two ports required");
+  require(!options.xy_legal_only || n == kStandardPortCount,
+          "build_crossbar: XY restriction requires the standard 5 ports");
+
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (PortId p = 0; p < n; ++p) names.push_back(standard_port_name(p));
+  RouterNetlist netlist(options.xy_legal_only ? "xy_crossbar" : "crossbar",
+                        std::move(names));
+  const double seg = options.internal_segment_cm;
+
+  const auto supported = [&](PortId i, PortId j) {
+    if (i == j) return false;  // no U-turns
+    return !options.xy_legal_only || xy_legal_connection(i, j);
+  };
+
+  // Elements: grid[i][j] is the intersection of input row i (rail A,
+  // flowing with increasing j) and output column j (rail B, flowing with
+  // increasing i, exiting at the bottom into output port j).
+  std::vector<std::vector<ElementId>> grid(n, std::vector<ElementId>(n));
+  for (PortId i = 0; i < n; ++i) {
+    for (PortId j = 0; j < n; ++j) {
+      const auto kind =
+          supported(i, j) ? ElementKind::Cpse : ElementKind::Crossing;
+      grid[i][j] = netlist.add_element(
+          kind, std::string(supported(i, j) ? "R" : "X") +
+                    standard_port_name(i) + standard_port_name(j));
+    }
+  }
+
+  for (PortId i = 0; i < n; ++i) {
+    netlist.wire_input(i, grid[i][0], Rail::A, seg);
+    for (PortId j = 0; j + 1 < n; ++j)
+      netlist.wire(grid[i][j], Rail::A, grid[i][j + 1], Rail::A, seg);
+    // Row ends in a terminator (default unwired pin).
+  }
+  for (PortId j = 0; j < n; ++j) {
+    for (PortId i = 0; i + 1 < n; ++i)
+      netlist.wire(grid[i][j], Rail::B, grid[i + 1][j], Rail::B, seg);
+    netlist.wire_output(grid[n - 1][j], Rail::B, j, seg);
+  }
+
+  for (PortId i = 0; i < n; ++i)
+    for (PortId j = 0; j < n; ++j)
+      if (supported(i, j)) netlist.add_connection(i, j, {grid[i][j]});
+
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace phonoc

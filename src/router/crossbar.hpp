@@ -1,0 +1,36 @@
+#pragma once
+/// \file crossbar.hpp
+/// \brief Parametric matrix-crossbar optical router.
+///
+/// N input guides (rows, one per input port) cross N output guides
+/// (columns, one per output port). Every supported connection (i -> j)
+/// has a CPSE at intersection (i, j); unsupported intersections are
+/// plain crossings. A 5-port crossbar without U-turns has 20 rings; the
+/// XY-restricted variant has 16 (turnaround-free, no Y-to-X turns),
+/// matching the connection set of Crux but with the loss/crosstalk
+/// profile of a matrix layout. Both serve as comparison points for the
+/// router-ablation benchmark.
+
+#include <cstddef>
+
+#include "router/netlist.hpp"
+
+namespace phonoc {
+
+struct CrossbarOptions {
+  /// Number of ports; 5 uses the standard L/N/E/S/W names.
+  std::size_t ports = 5;
+  /// Restrict connections to the XY-legal set (requires ports == 5).
+  bool xy_legal_only = false;
+  /// Internal waveguide segment length between adjacent elements, cm.
+  double internal_segment_cm = 0.0;
+};
+
+/// True when (in, out) is a legal XY dimension-order connection for the
+/// standard 5-port router: inject/eject anywhere, X straights and X->Y
+/// turns, Y straights; no Y->X turns, no U-turns.
+[[nodiscard]] bool xy_legal_connection(PortId in_port, PortId out_port);
+
+[[nodiscard]] RouterNetlist build_crossbar(const CrossbarOptions& options = {});
+
+}  // namespace phonoc

@@ -1,0 +1,141 @@
+#include "router/crux.hpp"
+
+#include <array>
+#include <string>
+
+#include "router/ports.hpp"
+#include "util/error.hpp"
+
+namespace phonoc {
+
+namespace {
+
+/// Builder helper that hides the Cpse-vs-ParallelPair site structure.
+/// A "site" is a switching location with rails A and B; in the Cpse
+/// variant it is a single CPSE element, in the ParallelPair variant a
+/// plain crossing feeding a PPSE on both rails. `in(site, rail)` /
+/// `out(site, rail)` give the element pins to wire against, and
+/// `ring(site)` the element whose microring realizes the site.
+class SiteBuilder {
+ public:
+  struct Site {
+    ElementId entry;  ///< element receiving both rails' inputs
+    ElementId exit;   ///< element driving both rails' outputs
+    ElementId ring;   ///< ring-bearing element
+  };
+
+  SiteBuilder(RouterNetlist& netlist, const CruxOptions& options)
+      : netlist_(netlist), options_(options) {}
+
+  [[nodiscard]] Site add_site(const std::string& name) {
+    if (options_.variant == CruxOptions::Variant::Cpse) {
+      const auto id = netlist_.add_element(ElementKind::Cpse, name);
+      return Site{id, id, id};
+    }
+    const auto x = netlist_.add_element(ElementKind::Crossing, "X_" + name);
+    const auto p = netlist_.add_element(ElementKind::Ppse, "P_" + name);
+    netlist_.wire(x, Rail::A, p, Rail::A, options_.internal_segment_cm);
+    netlist_.wire(x, Rail::B, p, Rail::B, options_.internal_segment_cm);
+    return Site{x, p, p};
+  }
+
+ private:
+  RouterNetlist& netlist_;
+  const CruxOptions& options_;
+};
+
+}  // namespace
+
+RouterNetlist build_crux(const CruxOptions& options) {
+  RouterNetlist netlist(
+      options.variant == CruxOptions::Variant::Cpse ? "crux" : "parallel",
+      {"L", "N", "E", "S", "W"});
+  SiteBuilder sites(netlist, options);
+  const double seg = options.internal_segment_cm;
+
+  // Ring sites (names encode the connection whose ring lives there).
+  const auto LE = sites.add_site("LE");
+  const auto LW = sites.add_site("LW");
+  const auto LN = sites.add_site("LN");
+  const auto LS = sites.add_site("LS");
+  const auto WN = sites.add_site("WN");
+  const auto WS = sites.add_site("WS");
+  const auto WL = sites.add_site("WL");
+  const auto EN = sites.add_site("EN");
+  const auto ES = sites.add_site("ES");
+  const auto EL = sites.add_site("EL");
+  const auto SL = sites.add_site("SL");
+  // N->L couples the N->S guide onto the parallel ejection guide: a PPSE
+  // in both variants.
+  const auto NL_elem = netlist.add_element(ElementKind::Ppse, "NL");
+  const SiteBuilder::Site NL{NL_elem, NL_elem, NL_elem};
+  // Ring-free crossing of the injection and ejection guides.
+  const auto XLL = netlist.add_element(ElementKind::Crossing, "XLL");
+
+  // --- Injection guide: L_in -> XLL.B ^ LE.B ^ LW.B, corner, LN.A ->
+  //     LS.A -> terminator. (^ = upward rail-B traversals.)
+  netlist.wire_input(kPortLocal, XLL, Rail::B, seg);
+  netlist.wire(XLL, Rail::B, LE.entry, Rail::B, seg);
+  netlist.wire(LE.exit, Rail::B, LW.entry, Rail::B, seg);
+  netlist.wire(LW.exit, Rail::B, LN.entry, Rail::A, seg);
+  netlist.wire(LN.exit, Rail::A, LS.entry, Rail::A, seg);
+  // LS.exit rail A is terminated (default).
+
+  // --- W->E guide: W_in -> LE.A -> WN.A -> WS.A -> WL.A -> E_out.
+  netlist.wire_input(kPortWest, LE.entry, Rail::A, seg);
+  netlist.wire(LE.exit, Rail::A, WN.entry, Rail::A, seg);
+  netlist.wire(WN.exit, Rail::A, WS.entry, Rail::A, seg);
+  netlist.wire(WS.exit, Rail::A, WL.entry, Rail::A, seg);
+  netlist.wire_output(WL.exit, Rail::A, kPortEast, seg);
+
+  // --- E->W guide: E_in -> EL.A -> ES.A -> EN.A -> LW.A -> W_out.
+  netlist.wire_input(kPortEast, EL.entry, Rail::A, seg);
+  netlist.wire(EL.exit, Rail::A, ES.entry, Rail::A, seg);
+  netlist.wire(ES.exit, Rail::A, EN.entry, Rail::A, seg);
+  netlist.wire(EN.exit, Rail::A, LW.entry, Rail::A, seg);
+  netlist.wire_output(LW.exit, Rail::A, kPortWest, seg);
+
+  // --- S->N guide: S_in -> SL.B -> WN.B -> EN.B -> LN.B -> N_out.
+  netlist.wire_input(kPortSouth, SL.entry, Rail::B, seg);
+  netlist.wire(SL.exit, Rail::B, WN.entry, Rail::B, seg);
+  netlist.wire(WN.exit, Rail::B, EN.entry, Rail::B, seg);
+  netlist.wire(EN.exit, Rail::B, LN.entry, Rail::B, seg);
+  netlist.wire_output(LN.exit, Rail::B, kPortNorth, seg);
+
+  // --- N->S guide: N_in -> LS.B -> ES.B -> NL.A -> WS.B -> S_out.
+  netlist.wire_input(kPortNorth, LS.entry, Rail::B, seg);
+  netlist.wire(LS.exit, Rail::B, ES.entry, Rail::B, seg);
+  netlist.wire(ES.exit, Rail::B, NL.entry, Rail::A, seg);
+  netlist.wire(NL.exit, Rail::A, WS.entry, Rail::B, seg);
+  netlist.wire_output(WS.exit, Rail::B, kPortSouth, seg);
+
+  // --- Ejection guide: (EL.B top) v NL.B v WL.B v SL.A -> XLL.A -> L_out.
+  netlist.wire(EL.exit, Rail::B, NL.entry, Rail::B, seg);
+  netlist.wire(NL.exit, Rail::B, WL.entry, Rail::B, seg);
+  netlist.wire(WL.exit, Rail::B, SL.entry, Rail::A, seg);
+  netlist.wire(SL.exit, Rail::A, XLL, Rail::A, seg);
+  netlist.wire_output(XLL, Rail::A, kPortLocal, seg);
+
+  // --- The sixteen XY-legal connections -----------------------------------
+  netlist.add_connection(kPortLocal, kPortNorth, {LN.ring});
+  netlist.add_connection(kPortLocal, kPortEast, {LE.ring});
+  netlist.add_connection(kPortLocal, kPortSouth, {LS.ring});
+  netlist.add_connection(kPortLocal, kPortWest, {LW.ring});
+  netlist.add_connection(kPortNorth, kPortSouth, {});
+  netlist.add_connection(kPortNorth, kPortLocal, {NL.ring});
+  netlist.add_connection(kPortSouth, kPortNorth, {});
+  netlist.add_connection(kPortSouth, kPortLocal, {SL.ring});
+  netlist.add_connection(kPortEast, kPortWest, {});
+  netlist.add_connection(kPortEast, kPortNorth, {EN.ring});
+  netlist.add_connection(kPortEast, kPortSouth, {ES.ring});
+  netlist.add_connection(kPortEast, kPortLocal, {EL.ring});
+  netlist.add_connection(kPortWest, kPortEast, {});
+  netlist.add_connection(kPortWest, kPortNorth, {WN.ring});
+  netlist.add_connection(kPortWest, kPortSouth, {WS.ring});
+  netlist.add_connection(kPortWest, kPortLocal, {WL.ring});
+
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,50 @@
+#pragma once
+/// \file crux.hpp
+/// \brief Crux optical router (paper ref [12], Xie et al., DAC 2010) —
+/// documented reconstruction.
+///
+/// Crux is a 5-port router optimized for XY dimension-order routing: it
+/// supports exactly the 16 XY-legal connections (inject to any direction,
+/// eject from any direction, X/Y straight-through, X-to-Y turns; no
+/// Y-to-X turns and no U-turns) using 12 microrings, and its
+/// straight-through paths traverse only crossings and OFF-state rings.
+///
+/// The original netlist figure is not reproduced in the PhoNoCMap paper,
+/// so this is a reconstruction with the published structural properties
+/// (see DESIGN.md §3). Layout summary:
+///   * four unidirectional guides: W->E, E->W (horizontal), S->N, N->S
+///     (vertical), giving four mutual crossings that host the four
+///     X-to-Y turn rings (WN, WS, EN, ES);
+///   * an L-shaped injection guide with four rings (LE, LW, LN, LS);
+///   * an L-shaped ejection guide with rings EL, WL, SL (CPSE) and NL
+///     (PPSE, since the N->S guide runs parallel to it), ending at the
+///     local output after a plain crossing (XLL) with the injection
+///     guide — the one ring-free crossing of the design, which makes
+///     concurrent injection/ejection at a tile interact at the -40 dB
+///     crossing-crosstalk floor (the SNR plateau visible in the paper's
+///     Table II).
+
+#include "router/netlist.hpp"
+
+namespace phonoc {
+
+struct CruxOptions {
+  /// Element style for the twelve ring sites.
+  enum class Variant {
+    /// Rings implemented as CPSEs at waveguide crossings (Crux proper).
+    Cpse,
+    /// Each ring site split into a plain crossing followed by a PPSE —
+    /// a parallel-coupler router in the spirit of Cygnus (reconstruction
+    /// used as the "parallel" comparison point).
+    ParallelPair,
+  };
+  Variant variant = Variant::Cpse;
+  /// Internal waveguide segment length between adjacent elements, cm.
+  /// The paper treats intra-router propagation as negligible (0).
+  double internal_segment_cm = 0.0;
+};
+
+/// Build the Crux netlist (5 standard ports, 16 connections).
+[[nodiscard]] RouterNetlist build_crux(const CruxOptions& options = {});
+
+}  // namespace phonoc

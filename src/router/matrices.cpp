@@ -1,0 +1,90 @@
+#include "router/matrices.hpp"
+
+#include <algorithm>
+
+namespace phonoc {
+
+namespace {
+
+/// True when `rings` contains an element that `trace` traverses in OFF
+/// state: turning that ring ON would divert the traced signal.
+bool ring_diverts_trace(const std::vector<ElementId>& rings,
+                        const Trace& trace) {
+  for (const auto& step : trace.steps) {
+    if (step.state != RingState::Off) continue;
+    if (std::binary_search(rings.begin(), rings.end(), step.element))
+      return true;
+  }
+  return false;
+}
+
+bool share_a_ring(const std::vector<ElementId>& a,
+                  const std::vector<ElementId>& b) {
+  // Both sorted; linear merge scan.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j])
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+
+}  // namespace
+
+PairAnalysis analyze_pair(const RouterNetlist& netlist,
+                          const RouterConnection& victim,
+                          const Trace& victim_trace,
+                          const RouterConnection& attacker,
+                          const Trace& attacker_trace,
+                          const LinearParameters& params) {
+  PairAnalysis out;
+
+  // --- Conflict detection -------------------------------------------------
+  if (victim.in_port == attacker.in_port ||
+      victim.out_port == attacker.out_port) {
+    // Port sharing: the pair is structurally impossible to co-activate
+    // (one modulator / one detector per port), so no coefficient exists.
+    out.conflict = true;
+    return out;
+  }
+  if (share_a_ring(victim.rings, attacker.rings) ||
+      ring_diverts_trace(attacker.rings, victim_trace) ||
+      ring_diverts_trace(victim.rings, attacker_trace)) {
+    // Ring-state contradiction: flagged as a conflict, but we still
+    // compute the nominal coefficients below so that the naive
+    // "sum over all pairs" ablation policy (ConflictPolicy::Ignore)
+    // has a value to use.
+    out.conflict = true;
+  }
+
+  // --- First-order leak collection ----------------------------------------
+  // For every element the attacker traverses, its leak lands on the
+  // output pin of the other rail (bar traversal) or the own rail (cross
+  // traversal); from there the stray light propagates passively through
+  // the netlist under the union ring configuration. Only strays that
+  // exit at the victim's output port co-propagate with the victim and
+  // reach its photodetector.
+  const auto victim_flags = make_ring_flags(netlist, victim.rings);
+  const auto attacker_flags = make_ring_flags(netlist, attacker.rings);
+  const auto both = union_flags(victim_flags, attacker_flags);
+
+  for (const auto& step : attacker_trace.steps) {
+    const auto transfer = element_transfer(netlist.element(step.element).kind,
+                                           step.state, step.in_rail, params);
+    const auto stray = propagate_from_pin(netlist, step.element,
+                                          transfer.leak_out, both, params);
+    if (!stray.reached_output || stray.out_port != victim.out_port) continue;
+    // Paper model (Ki*Li = Ki): coefficient of the leaking element only.
+    out.k_simplified += transfer.leak_gain;
+    // Full model: attacker attenuation up to the element, the leak, and
+    // the stray-path attenuation to the output port.
+    out.k_full += step.gain_before * transfer.leak_gain * stray.gain;
+  }
+  return out;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,45 @@
+#pragma once
+/// \file matrices.hpp
+/// \brief Pairwise connection analysis: conflicts and crosstalk
+/// coefficients between two co-active connections of one router.
+
+#include "photonics/parameters.hpp"
+#include "router/netlist.hpp"
+#include "router/tracer.hpp"
+
+namespace phonoc {
+
+/// Crosstalk-model fidelity (paper §II-C simplifications).
+enum class ModelFidelity {
+  /// Paper model: `Ki*Li = Ki` inside the generating switch — neither
+  /// the attacker's pre-leak loss nor the noise's post-leak loss within
+  /// that router are applied.
+  Simplified,
+  /// Keep the intra-router attenuation terms the paper drops.
+  Full,
+};
+
+/// Derived relation between an ordered (victim, attacker) connection pair.
+struct PairAnalysis {
+  /// True when the two connections cannot be active simultaneously:
+  /// shared input/output port, shared ring, or a ring one connection
+  /// turns ON sitting on an element the other traverses in OFF state.
+  bool conflict = false;
+  /// Total linear crosstalk coefficient: noise power co-propagating out
+  /// of the victim's output port per unit of attacker power entering the
+  /// attacker's input port, under the paper's simplified model.
+  double k_simplified = 0.0;
+  /// Same with intra-router attenuation retained.
+  double k_full = 0.0;
+};
+
+/// Analyze the ordered pair (victim, attacker). `victim_trace` and
+/// `attacker_trace` must come from trace_connection on the same netlist.
+[[nodiscard]] PairAnalysis analyze_pair(const RouterNetlist& netlist,
+                                        const RouterConnection& victim,
+                                        const Trace& victim_trace,
+                                        const RouterConnection& attacker,
+                                        const Trace& attacker_trace,
+                                        const LinearParameters& params);
+
+}  // namespace phonoc

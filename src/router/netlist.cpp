@@ -1,0 +1,141 @@
+#include "router/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+RouterNetlist::RouterNetlist(std::string name,
+                             std::vector<std::string> port_names)
+    : name_(std::move(name)), port_names_(std::move(port_names)) {
+  require(!port_names_.empty(), "RouterNetlist: at least one port required");
+  input_feeds_.resize(port_names_.size());
+}
+
+const std::string& RouterNetlist::port_name(PortId port) const {
+  require(port < port_names_.size(), "RouterNetlist: port id out of range");
+  return port_names_[port];
+}
+
+ElementId RouterNetlist::add_element(ElementKind kind, std::string name) {
+  elements_.push_back(Element{kind, std::move(name)});
+  exits_.emplace_back();  // rail A
+  exits_.emplace_back();  // rail B
+  input_pin_feeds_.push_back(0);
+  input_pin_feeds_.push_back(0);
+  return static_cast<ElementId>(elements_.size() - 1);
+}
+
+const RouterNetlist::Element& RouterNetlist::element(ElementId id) const {
+  require(id < elements_.size(), "RouterNetlist: element id out of range");
+  return elements_[id];
+}
+
+PinTarget& RouterNetlist::exit_slot(ElementId elem, Rail rail) {
+  require(elem < elements_.size(), "RouterNetlist: element id out of range");
+  return exits_[2 * elem + static_cast<std::size_t>(rail)];
+}
+
+void RouterNetlist::wire(ElementId from, Rail from_rail, ElementId to,
+                         Rail to_rail, double length_cm) {
+  require(to < elements_.size(), "RouterNetlist::wire: target out of range");
+  require(length_cm >= 0.0, "RouterNetlist::wire: negative length");
+  auto& slot = exit_slot(from, from_rail);
+  require(slot.kind == PinTarget::Kind::None,
+          "RouterNetlist::wire: output pin already wired (" +
+              elements_[from].name + ")");
+  slot = PinTarget{PinTarget::Kind::Element, to, to_rail, length_cm};
+  auto& feeds = input_pin_feeds_[2 * to + static_cast<std::size_t>(to_rail)];
+  require(feeds == 0, "RouterNetlist::wire: input pin already fed (" +
+                          elements_[to].name + ")");
+  ++feeds;
+}
+
+void RouterNetlist::wire_input(PortId port, ElementId to, Rail to_rail,
+                               double length_cm) {
+  require(port < port_names_.size(),
+          "RouterNetlist::wire_input: port out of range");
+  require(to < elements_.size(),
+          "RouterNetlist::wire_input: element out of range");
+  auto& feed = input_feeds_[port];
+  require(feed.kind == PinTarget::Kind::None,
+          "RouterNetlist::wire_input: port already wired");
+  feed = PinTarget{PinTarget::Kind::Element, to, to_rail, length_cm};
+  auto& feeds = input_pin_feeds_[2 * to + static_cast<std::size_t>(to_rail)];
+  require(feeds == 0, "RouterNetlist::wire_input: input pin already fed (" +
+                          elements_[to].name + ")");
+  ++feeds;
+}
+
+void RouterNetlist::wire_output(ElementId from, Rail from_rail, PortId port,
+                                double length_cm) {
+  require(port < port_names_.size(),
+          "RouterNetlist::wire_output: port out of range");
+  auto& slot = exit_slot(from, from_rail);
+  require(slot.kind == PinTarget::Kind::None,
+          "RouterNetlist::wire_output: output pin already wired (" +
+              elements_[from].name + ")");
+  slot = PinTarget{PinTarget::Kind::OutputPort, port, Rail::A, length_cm};
+}
+
+ConnectionId RouterNetlist::add_connection(PortId in_port, PortId out_port,
+                                           std::vector<ElementId> rings) {
+  require(in_port < port_names_.size() && out_port < port_names_.size(),
+          "RouterNetlist::add_connection: port out of range");
+  for (const auto ring : rings) {
+    require(ring < elements_.size(),
+            "RouterNetlist::add_connection: ring id out of range");
+    require(has_ring(elements_[ring].kind),
+            "RouterNetlist::add_connection: element '" +
+                elements_[ring].name + "' has no microring");
+  }
+  std::sort(rings.begin(), rings.end());
+  for (const auto& existing : connections_)
+    require(!(existing.in_port == in_port && existing.out_port == out_port),
+            "RouterNetlist::add_connection: duplicate connection");
+  connections_.push_back(RouterConnection{in_port, out_port, std::move(rings)});
+  return static_cast<ConnectionId>(connections_.size() - 1);
+}
+
+const PinTarget& RouterNetlist::exit_of(ElementId elem, Rail rail) const {
+  require(elem < elements_.size(), "RouterNetlist: element id out of range");
+  return exits_[2 * elem + static_cast<std::size_t>(rail)];
+}
+
+const PinTarget& RouterNetlist::input_feed(PortId port) const {
+  require(port < port_names_.size(), "RouterNetlist: port id out of range");
+  return input_feeds_[port];
+}
+
+std::size_t RouterNetlist::ring_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : elements_)
+    if (has_ring(e.kind)) ++n;
+  return n;
+}
+
+std::size_t RouterNetlist::crossing_count() const noexcept {
+  // CPSEs contain a waveguide crossing; plain crossings obviously do.
+  std::size_t n = 0;
+  for (const auto& e : elements_)
+    if (e.kind == ElementKind::Crossing || e.kind == ElementKind::Cpse) ++n;
+  return n;
+}
+
+void RouterNetlist::validate() const {
+  require_model(!connections_.empty(),
+                "RouterNetlist '" + name_ + "': no connections declared");
+  for (PortId p = 0; p < port_names_.size(); ++p) {
+    // Ports may legitimately be input-only or output-only (e.g. a
+    // terminator port), but a port used by a connection must be wired.
+    for (const auto& c : connections_) {
+      if (c.in_port == p)
+        require_model(input_feeds_[p].kind != PinTarget::Kind::None,
+                      "RouterNetlist '" + name_ + "': input port " +
+                          port_names_[p] + " used but unwired");
+    }
+  }
+}
+
+}  // namespace phonoc

@@ -1,0 +1,126 @@
+#pragma once
+/// \file netlist.hpp
+/// \brief Router microarchitecture as a netlist of photonic elements.
+///
+/// A RouterNetlist is a directed graph of 2x2 photonic elements
+/// (crossings, PPSEs, CPSEs; see photonics/elements.hpp). Each element
+/// has two rails (A, B), each with an input and an output pin. Output
+/// pins are wired to input pins of other elements, to external output
+/// ports, or terminated. External input ports feed element input pins.
+///
+/// A *connection* declares that the router can steer light from one
+/// external input port to one external output port by switching a given
+/// set of microrings ON. Everything else about the router — insertion
+/// loss per connection, pairwise crosstalk coefficients, conflicts — is
+/// *derived* from the netlist by the tracer and matrix builder, so new
+/// router microarchitectures only need to describe their physical
+/// structure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "photonics/elements.hpp"
+#include "router/ports.hpp"
+
+namespace phonoc {
+
+using ElementId = std::uint32_t;
+using ConnectionId = std::uint32_t;
+
+/// Where an output pin's light goes next.
+struct PinTarget {
+  enum class Kind : std::uint8_t {
+    None,        ///< terminated (absorbed; default)
+    Element,     ///< input pin of another element
+    OutputPort,  ///< external output port of the router
+  };
+  Kind kind = Kind::None;
+  std::uint32_t index = 0;  ///< element id or port id
+  Rail rail = Rail::A;      ///< target rail (Kind::Element only)
+  double length_cm = 0.0;   ///< waveguide length of this internal segment
+};
+
+/// A switchable input->output service of the router.
+struct RouterConnection {
+  PortId in_port = 0;
+  PortId out_port = 0;
+  /// Elements whose microring must be ON to realize this connection
+  /// (each must be a Ppse or Cpse). Sorted ascending.
+  std::vector<ElementId> rings;
+};
+
+class RouterNetlist {
+ public:
+  struct Element {
+    ElementKind kind;
+    std::string name;
+  };
+
+  /// `port_names[i]` labels external port i (both its input and output
+  /// side); `name` identifies the router type (e.g. "crux").
+  RouterNetlist(std::string name, std::vector<std::string> port_names);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return port_names_.size();
+  }
+  [[nodiscard]] const std::string& port_name(PortId port) const;
+
+  /// Add an element; returns its id.
+  ElementId add_element(ElementKind kind, std::string name);
+
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return elements_.size();
+  }
+  [[nodiscard]] const Element& element(ElementId id) const;
+
+  /// Wire an element's output pin to another element's input pin.
+  void wire(ElementId from, Rail from_rail, ElementId to, Rail to_rail,
+            double length_cm = 0.0);
+  /// Wire an external input port to an element's input pin.
+  void wire_input(PortId port, ElementId to, Rail to_rail,
+                  double length_cm = 0.0);
+  /// Wire an element's output pin to an external output port.
+  void wire_output(ElementId from, Rail from_rail, PortId port,
+                   double length_cm = 0.0);
+
+  /// Declare a connection (see RouterConnection). Rings are validated to
+  /// reference ring-bearing elements. Returns the connection id.
+  ConnectionId add_connection(PortId in_port, PortId out_port,
+                              std::vector<ElementId> rings);
+
+  [[nodiscard]] const std::vector<RouterConnection>& connections()
+      const noexcept {
+    return connections_;
+  }
+
+  /// Where the given output pin leads.
+  [[nodiscard]] const PinTarget& exit_of(ElementId elem, Rail rail) const;
+  /// What the given external input port feeds (Kind::None if unwired).
+  [[nodiscard]] const PinTarget& input_feed(PortId port) const;
+
+  /// Structural statistics for reporting.
+  [[nodiscard]] std::size_t ring_count() const noexcept;
+  [[nodiscard]] std::size_t crossing_count() const noexcept;
+
+  /// Structural validation: every connection's ports in range, every
+  /// input-pin fed by at most one source, rings reference ring elements.
+  /// (Connection traceability is verified by the tracer at model build.)
+  void validate() const;
+
+ private:
+  [[nodiscard]] PinTarget& exit_slot(ElementId elem, Rail rail);
+
+  std::string name_;
+  std::vector<std::string> port_names_;
+  std::vector<Element> elements_;
+  /// exits_[2*elem + rail]
+  std::vector<PinTarget> exits_;
+  std::vector<PinTarget> input_feeds_;
+  std::vector<RouterConnection> connections_;
+  /// fan-in guard: counts feeds per (element, rail) input pin
+  std::vector<std::uint8_t> input_pin_feeds_;
+};
+
+}  // namespace phonoc

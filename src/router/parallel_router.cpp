@@ -1,0 +1,14 @@
+#include "router/parallel_router.hpp"
+
+#include "router/crux.hpp"
+
+namespace phonoc {
+
+RouterNetlist build_parallel_router(double internal_segment_cm) {
+  CruxOptions options;
+  options.variant = CruxOptions::Variant::ParallelPair;
+  options.internal_segment_cm = internal_segment_cm;
+  return build_crux(options);
+}
+
+}  // namespace phonoc

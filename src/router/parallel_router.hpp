@@ -1,0 +1,14 @@
+#pragma once
+/// \file parallel_router.hpp
+/// \brief PPSE-based 5-port router (reconstruction in the spirit of
+/// Cygnus): the Crux guide layout with every CPSE site split into a
+/// plain crossing followed by a parallel PSE. See crux.hpp.
+
+#include "router/netlist.hpp"
+
+namespace phonoc {
+
+[[nodiscard]] RouterNetlist build_parallel_router(
+    double internal_segment_cm = 0.0);
+
+}  // namespace phonoc

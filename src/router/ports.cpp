@@ -1,0 +1,34 @@
+#include "router/ports.hpp"
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+std::string standard_port_name(PortId port) {
+  switch (port) {
+    case kPortLocal: return "L";
+    case kPortNorth: return "N";
+    case kPortEast: return "E";
+    case kPortSouth: return "S";
+    case kPortWest: return "W";
+    default: {
+      std::string name = "P";
+      name += std::to_string(port);
+      return name;
+    }
+  }
+}
+
+PortId opposite_port(PortId port) {
+  switch (port) {
+    case kPortLocal: return kPortLocal;
+    case kPortNorth: return kPortSouth;
+    case kPortSouth: return kPortNorth;
+    case kPortEast: return kPortWest;
+    case kPortWest: return kPortEast;
+    default:
+      throw InvalidArgument("opposite_port: not a standard port id");
+  }
+}
+
+}  // namespace phonoc

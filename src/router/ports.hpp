@@ -1,0 +1,29 @@
+#pragma once
+/// \file ports.hpp
+/// \brief Canonical 5-port naming for tile routers.
+///
+/// Topologies and routing algorithms speak in these port ids; router
+/// netlists may have any port count, but the built-in mesh/torus flows
+/// use the 5-port convention below.
+
+#include <cstdint>
+#include <string>
+
+namespace phonoc {
+
+using PortId = std::uint32_t;
+
+inline constexpr PortId kPortLocal = 0;  ///< processing-element interface
+inline constexpr PortId kPortNorth = 1;
+inline constexpr PortId kPortEast = 2;
+inline constexpr PortId kPortSouth = 3;
+inline constexpr PortId kPortWest = 4;
+inline constexpr std::size_t kStandardPortCount = 5;
+
+/// Human-readable name of a standard port ("L", "N", "E", "S", "W").
+[[nodiscard]] std::string standard_port_name(PortId port);
+
+/// Opposite cardinal direction (N<->S, E<->W); Local maps to Local.
+[[nodiscard]] PortId opposite_port(PortId port);
+
+}  // namespace phonoc

@@ -1,0 +1,78 @@
+#include "router/router_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace phonoc {
+
+RouterModel::RouterModel(RouterNetlist netlist,
+                         const PhysicalParameters& params)
+    : netlist_(std::move(netlist)),
+      params_(params),
+      linear_(LinearParameters::from(params)) {
+  params_.validate();
+  netlist_.validate();
+
+  const auto ports = netlist_.port_count();
+  const auto& conns = netlist_.connections();
+  const auto n = conns.size();
+
+  conn_index_.assign(ports * ports, -1);
+  traces_.reserve(n);
+  gains_.reserve(n);
+  losses_db_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = conns[i];
+    conn_index_[c.in_port * ports + c.out_port] = static_cast<int>(i);
+    traces_.push_back(trace_connection(netlist_, c, linear_));
+    gains_.push_back(traces_.back().gain);
+    losses_db_.push_back(linear_to_db(traces_.back().gain));
+  }
+
+  pairs_.resize(n * n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t a = 0; a < n; ++a) {
+      if (v == a) {
+        pairs_[v * n + a].conflict = true;  // a connection vs itself
+        continue;
+      }
+      pairs_[v * n + a] = analyze_pair(netlist_, conns[v], traces_[v],
+                                       conns[a], traces_[a], linear_);
+    }
+  }
+}
+
+int RouterModel::connection_index(PortId in_port, PortId out_port) const {
+  const auto ports = netlist_.port_count();
+  if (in_port >= ports || out_port >= ports) return -1;
+  return conn_index_[in_port * ports + out_port];
+}
+
+const RouterConnection& RouterModel::connection(std::size_t idx) const {
+  require(idx < netlist_.connections().size(),
+          "RouterModel: connection index out of range");
+  return netlist_.connections()[idx];
+}
+
+const Trace& RouterModel::trace(std::size_t idx) const {
+  require(idx < traces_.size(), "RouterModel: connection index out of range");
+  return traces_[idx];
+}
+
+double RouterModel::worst_connection_loss_db() const {
+  double worst = 0.0;
+  for (const auto db : losses_db_) worst = std::min(worst, db);
+  return worst;
+}
+
+const PairAnalysis& RouterModel::pair(std::size_t victim,
+                                      std::size_t attacker) const {
+  const auto n = netlist_.connections().size();
+  require(victim < n && attacker < n,
+          "RouterModel: pair index out of range");
+  return pairs_[victim * n + attacker];
+}
+
+}  // namespace phonoc

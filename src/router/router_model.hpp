@@ -1,0 +1,100 @@
+#pragma once
+/// \file router_model.hpp
+/// \brief Precomputed analytical model of one router microarchitecture.
+///
+/// Built once per (netlist, physical parameters) pair. All quantities the
+/// network-level analysis needs per evaluation are dense lookups here:
+/// connection indices, per-connection insertion gains, and pairwise
+/// conflict / crosstalk matrices. This is what makes mapping-space search
+/// fast enough for the paper's 100 000-sample experiments.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "photonics/parameters.hpp"
+#include "router/matrices.hpp"
+#include "router/netlist.hpp"
+#include "router/tracer.hpp"
+
+namespace phonoc {
+
+class RouterModel {
+ public:
+  /// Derives all matrices; throws ModelError if any declared connection
+  /// cannot actually be traced to its output port.
+  RouterModel(RouterNetlist netlist, const PhysicalParameters& params);
+
+  [[nodiscard]] const std::string& name() const noexcept {
+    return netlist_.name();
+  }
+  [[nodiscard]] const RouterNetlist& netlist() const noexcept {
+    return netlist_;
+  }
+  [[nodiscard]] std::size_t port_count() const noexcept {
+    return netlist_.port_count();
+  }
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return netlist_.connections().size();
+  }
+
+  /// Dense connection index for (in, out), or -1 when the router does
+  /// not support that connection.
+  [[nodiscard]] int connection_index(PortId in_port, PortId out_port) const;
+
+  [[nodiscard]] const RouterConnection& connection(std::size_t idx) const;
+  [[nodiscard]] const Trace& trace(std::size_t idx) const;
+
+  /// Linear power gain of a connection (includes internal waveguides).
+  [[nodiscard]] double connection_gain(std::size_t idx) const {
+    return gains_[idx];
+  }
+  /// Same in dB (<= 0).
+  [[nodiscard]] double connection_loss_db(std::size_t idx) const {
+    return losses_db_[idx];
+  }
+
+  /// True when the ordered pair cannot be co-active (see PairAnalysis).
+  [[nodiscard]] bool conflicts(std::size_t victim, std::size_t attacker) const {
+    return pair(victim, attacker).conflict;
+  }
+
+  /// Linear crosstalk coefficient victim<-attacker at the requested
+  /// fidelity; 0 for conflicting pairs.
+  [[nodiscard]] double crosstalk_gain(std::size_t victim, std::size_t attacker,
+                                      ModelFidelity fidelity) const {
+    const auto& p = pair(victim, attacker);
+    return fidelity == ModelFidelity::Simplified ? p.k_simplified : p.k_full;
+  }
+
+  /// Worst (most negative) connection loss over all connections, dB.
+  [[nodiscard]] double worst_connection_loss_db() const;
+
+  /// Physical parameter set the model was built with.
+  [[nodiscard]] const PhysicalParameters& parameters() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const LinearParameters& linear_parameters() const noexcept {
+    return linear_;
+  }
+
+ private:
+  [[nodiscard]] const PairAnalysis& pair(std::size_t victim,
+                                         std::size_t attacker) const;
+
+  RouterNetlist netlist_;
+  PhysicalParameters params_;
+  LinearParameters linear_;
+  std::vector<int> conn_index_;       ///< [in * ports + out] -> idx or -1
+  std::vector<Trace> traces_;         ///< per connection
+  std::vector<double> gains_;         ///< per connection, linear
+  std::vector<double> losses_db_;     ///< per connection, dB
+  std::vector<PairAnalysis> pairs_;   ///< [victim * n + attacker]
+};
+
+/// Shared-ownership alias used across the model layer: one RouterModel is
+/// referenced by every tile of a network.
+using RouterModelPtr = std::shared_ptr<const RouterModel>;
+
+}  // namespace phonoc

@@ -1,0 +1,118 @@
+#include "router/tracer.hpp"
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+namespace {
+
+RingState state_of(const RouterNetlist& netlist, ElementId elem,
+                   const RingFlags& rings) {
+  if (!has_ring(netlist.element(elem).kind)) return RingState::Off;
+  return rings[elem] ? RingState::On : RingState::Off;
+}
+
+/// Hard bound on walk length: a signal cannot revisit pins in a
+/// physically meaningful netlist; 4x element count catches mis-wirings.
+std::size_t step_limit(const RouterNetlist& netlist) {
+  return 4 * netlist.element_count() + 8;
+}
+
+}  // namespace
+
+RingFlags make_ring_flags(const RouterNetlist& netlist,
+                          const std::vector<ElementId>& rings) {
+  RingFlags flags(netlist.element_count(), 0);
+  for (const auto r : rings) {
+    require(r < flags.size(), "make_ring_flags: ring id out of range");
+    flags[r] = 1;
+  }
+  return flags;
+}
+
+RingFlags union_flags(const RingFlags& a, const RingFlags& b) {
+  require(a.size() == b.size(), "union_flags: size mismatch");
+  RingFlags out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] | b[i];
+  return out;
+}
+
+Trace trace_connection(const RouterNetlist& netlist,
+                       const RouterConnection& connection,
+                       const LinearParameters& params) {
+  const auto flags = make_ring_flags(netlist, connection.rings);
+
+  Trace trace;
+  const PinTarget* target = &netlist.input_feed(connection.in_port);
+  require_model(target->kind == PinTarget::Kind::Element,
+                "trace_connection: input port '" +
+                    netlist.port_name(connection.in_port) + "' of router '" +
+                    netlist.name() + "' is not wired to an element");
+
+  const std::size_t limit = step_limit(netlist);
+  std::size_t steps = 0;
+  while (true) {
+    require_model(++steps <= limit,
+                  "trace_connection: walk exceeded step limit in router '" +
+                      netlist.name() + "' (cyclic wiring?)");
+    // Traverse the waveguide segment leading to the target.
+    trace.internal_length_cm += target->length_cm;
+    trace.gain *= params.propagation_gain(target->length_cm);
+
+    if (target->kind == PinTarget::Kind::OutputPort) {
+      require_model(
+          target->index == connection.out_port,
+          "trace_connection: light from port '" +
+              netlist.port_name(connection.in_port) + "' arrived at port '" +
+              netlist.port_name(target->index) + "' instead of '" +
+              netlist.port_name(connection.out_port) + "' in router '" +
+              netlist.name() + "'");
+      return trace;
+    }
+    require_model(target->kind == PinTarget::Kind::Element,
+                  "trace_connection: light terminated before reaching port '" +
+                      netlist.port_name(connection.out_port) +
+                      "' in router '" + netlist.name() + "'");
+
+    const ElementId elem = target->index;
+    const Rail in_rail = target->rail;
+    const auto state = state_of(netlist, elem, flags);
+    const auto transfer =
+        element_transfer(netlist.element(elem).kind, state, in_rail, params);
+    trace.steps.push_back(TraceStep{elem, in_rail, state, trace.gain});
+    trace.gain *= transfer.signal_gain;
+    target = &netlist.exit_of(elem, transfer.signal_out);
+  }
+}
+
+Propagation propagate_from_pin(const RouterNetlist& netlist, ElementId from,
+                               Rail rail, const RingFlags& rings,
+                               const LinearParameters& params) {
+  Propagation result;
+  const PinTarget* target = &netlist.exit_of(from, rail);
+  const std::size_t limit = step_limit(netlist);
+  std::size_t steps = 0;
+  while (true) {
+    if (++steps > limit) return result;  // cyclic stray path: treat as lost
+    result.gain *= params.propagation_gain(target->length_cm);
+    switch (target->kind) {
+      case PinTarget::Kind::None:
+        return result;  // absorbed at a terminator
+      case PinTarget::Kind::OutputPort:
+        result.reached_output = true;
+        result.out_port = target->index;
+        return result;
+      case PinTarget::Kind::Element: {
+        const ElementId elem = target->index;
+        const auto state = state_of(netlist, elem, rings);
+        const auto transfer = element_transfer(netlist.element(elem).kind,
+                                               state, target->rail, params);
+        result.gain *= transfer.signal_gain;
+        target = &netlist.exit_of(elem, transfer.signal_out);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace phonoc

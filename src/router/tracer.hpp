@@ -1,0 +1,68 @@
+#pragma once
+/// \file tracer.hpp
+/// \brief Signal propagation through a router netlist.
+///
+/// The tracer walks light through the element graph under a given set of
+/// ON rings: at every element the signal follows the bar or cross rail
+/// according to the Eq. (1a)-(1j) transfer model, accumulating loss.
+/// It produces the ordered element traversal of a connection (used for
+/// crosstalk derivation) and verifies that the netlist actually delivers
+/// the connection's input port to its declared output port.
+
+#include <cstdint>
+#include <vector>
+
+#include "photonics/elements.hpp"
+#include "router/netlist.hpp"
+
+namespace phonoc {
+
+/// One element traversal on a signal path.
+struct TraceStep {
+  ElementId element;
+  Rail in_rail;
+  RingState state;       ///< element state during this connection
+  double gain_before;    ///< linear gain accumulated before entering
+};
+
+/// Full trace of a connection through the netlist.
+struct Trace {
+  std::vector<TraceStep> steps;
+  double gain = 1.0;              ///< total linear gain (elements + internal wg)
+  double internal_length_cm = 0.0;
+};
+
+/// Per-element ON/OFF flags (index = ElementId). Built from a ring set.
+using RingFlags = std::vector<std::uint8_t>;
+
+/// Expand a sorted ring list into per-element flags.
+[[nodiscard]] RingFlags make_ring_flags(const RouterNetlist& netlist,
+                                        const std::vector<ElementId>& rings);
+
+/// Union of two flag vectors (co-active connections).
+[[nodiscard]] RingFlags union_flags(const RingFlags& a, const RingFlags& b);
+
+/// Trace `connection` through the netlist with its own rings ON.
+/// Throws ModelError when the light fails to arrive at the declared
+/// output port (mis-wired netlist or wrong ring set).
+[[nodiscard]] Trace trace_connection(const RouterNetlist& netlist,
+                                     const RouterConnection& connection,
+                                     const LinearParameters& params);
+
+/// Result of free propagation from an arbitrary output pin.
+struct Propagation {
+  bool reached_output = false;
+  PortId out_port = 0;
+  double gain = 1.0;  ///< linear gain accumulated along the way
+};
+
+/// Follow light leaving element `from`'s rail `rail` output pin through
+/// the netlist under the given ring flags, taking the signal (not leak)
+/// path at every subsequent element, until it exits an external port or
+/// terminates. Used to find where first-order crosstalk leaks end up.
+[[nodiscard]] Propagation propagate_from_pin(const RouterNetlist& netlist,
+                                             ElementId from, Rail rail,
+                                             const RingFlags& rings,
+                                             const LinearParameters& params);
+
+}  // namespace phonoc

@@ -1,0 +1,55 @@
+#include "routing/registry.hpp"
+
+#include <map>
+
+#include "routing/torus_dor.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+
+namespace {
+
+std::map<std::string, RoutingFactory>& registry() {
+  static std::map<std::string, RoutingFactory> instance = [] {
+    std::map<std::string, RoutingFactory> m;
+    m["xy"] = [] { return std::make_unique<XyRouting>(); };
+    m["yx"] = [] { return std::make_unique<YxRouting>(); };
+    m["torus_dor"] = [] { return std::make_unique<TorusDorRouting>(); };
+    return m;
+  }();
+  return instance;
+}
+
+}  // namespace
+
+void register_routing(const std::string& name, RoutingFactory factory) {
+  require(!name.empty(), "register_routing: empty name");
+  require(factory != nullptr, "register_routing: null factory");
+  registry()[to_lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name) {
+  const auto it = registry().find(to_lower(name));
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [key, unused] : registry()) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw InvalidArgument("unknown routing '" + name + "' (registered: " +
+                          known + ")");
+  }
+  return it->second();
+}
+
+std::vector<std::string> registered_routings() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [key, unused] : registry()) names.push_back(key);
+  return names;
+}
+
+}  // namespace phonoc

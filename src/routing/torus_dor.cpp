@@ -1,0 +1,40 @@
+#include "routing/torus_dor.hpp"
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+namespace {
+
+/// Steps and direction along one cyclic dimension of size `extent`:
+/// positive result = move in the increasing direction (East/South),
+/// negative = decreasing. Shortest way; ties go to increasing.
+int cyclic_delta(std::uint32_t from, std::uint32_t to, std::uint32_t extent) {
+  const int forward =
+      static_cast<int>((to + extent - from) % extent);  // increasing steps
+  const int backward = static_cast<int>(extent) - forward;
+  return forward <= backward ? forward : -backward;
+}
+
+}  // namespace
+
+Route TorusDorRouting::compute_route(const Topology& topo, TileId src,
+                                     TileId dst) const {
+  require(src != dst, "TorusDorRouting: src == dst");
+  const auto from = topo.position(src);
+  const auto to = topo.position(dst);
+
+  auto route = start_route(src);
+  const int dx = cyclic_delta(from.col, to.col, topo.cols());
+  for (int i = 0; i < dx; ++i) extend_route(topo, route, kPortEast);
+  for (int i = 0; i > dx; --i) extend_route(topo, route, kPortWest);
+  const int dy = cyclic_delta(from.row, to.row, topo.rows());
+  for (int i = 0; i < dy; ++i) extend_route(topo, route, kPortSouth);
+  for (int i = 0; i > dy; --i) extend_route(topo, route, kPortNorth);
+
+  route.hops.back().out_port = kPortLocal;
+  validate_route(topo, route, src, dst);
+  return route;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,17 @@
+#pragma once
+/// \file torus_dor.hpp
+/// \brief Dimension-order routing on a torus with shortest-way wrap
+/// selection (X first, then Y; ties broken toward East/South).
+
+#include "routing/route.hpp"
+
+namespace phonoc {
+
+class TorusDorRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "torus_dor"; }
+  [[nodiscard]] Route compute_route(const Topology& topo, TileId src,
+                                    TileId dst) const override;
+};
+
+}  // namespace phonoc

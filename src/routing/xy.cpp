@@ -1,0 +1,30 @@
+#include "routing/xy.hpp"
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+Route XyRouting::compute_route(const Topology& topo, TileId src,
+                               TileId dst) const {
+  require(src != dst, "XyRouting: src == dst");
+  const auto from = topo.position(src);
+  const auto to = topo.position(dst);
+
+  auto route = start_route(src);
+  // X dimension: columns (East increases col).
+  for (std::uint32_t c = from.col; c < to.col; ++c)
+    extend_route(topo, route, kPortEast);
+  for (std::uint32_t c = from.col; c > to.col; --c)
+    extend_route(topo, route, kPortWest);
+  // Y dimension: rows (South increases row; row 0 is the north edge).
+  for (std::uint32_t r = from.row; r < to.row; ++r)
+    extend_route(topo, route, kPortSouth);
+  for (std::uint32_t r = from.row; r > to.row; --r)
+    extend_route(topo, route, kPortNorth);
+
+  route.hops.back().out_port = kPortLocal;
+  validate_route(topo, route, src, dst);
+  return route;
+}
+
+}  // namespace phonoc

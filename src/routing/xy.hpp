@@ -1,0 +1,19 @@
+#pragma once
+/// \file xy.hpp
+/// \brief XY dimension-order routing on a mesh (the paper's default).
+
+#include "routing/route.hpp"
+
+namespace phonoc {
+
+/// Route along the X dimension (columns, East/West) first, then Y
+/// (rows, North/South). Minimal and deadlock-free on meshes; only uses
+/// the XY-legal connection set (Crux-compatible).
+class XyRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "xy"; }
+  [[nodiscard]] Route compute_route(const Topology& topo, TileId src,
+                                    TileId dst) const override;
+};
+
+}  // namespace phonoc

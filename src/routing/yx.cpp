@@ -1,0 +1,28 @@
+#include "routing/yx.hpp"
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+Route YxRouting::compute_route(const Topology& topo, TileId src,
+                               TileId dst) const {
+  require(src != dst, "YxRouting: src == dst");
+  const auto from = topo.position(src);
+  const auto to = topo.position(dst);
+
+  auto route = start_route(src);
+  for (std::uint32_t r = from.row; r < to.row; ++r)
+    extend_route(topo, route, kPortSouth);
+  for (std::uint32_t r = from.row; r > to.row; --r)
+    extend_route(topo, route, kPortNorth);
+  for (std::uint32_t c = from.col; c < to.col; ++c)
+    extend_route(topo, route, kPortEast);
+  for (std::uint32_t c = from.col; c > to.col; --c)
+    extend_route(topo, route, kPortWest);
+
+  route.hops.back().out_port = kPortLocal;
+  validate_route(topo, route, src, dst);
+  return route;
+}
+
+}  // namespace phonoc

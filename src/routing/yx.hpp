@@ -1,0 +1,21 @@
+#pragma once
+/// \file yx.hpp
+/// \brief YX dimension-order routing (extension beyond the paper).
+///
+/// Routes the Y dimension first. Note that YX emits Y-to-X turns, which
+/// Crux deliberately does not support: building a NetworkModel with
+/// Crux + YX throws a ModelError, demonstrating the connection-set
+/// validation. Use the full crossbar router with YX.
+
+#include "routing/route.hpp"
+
+namespace phonoc {
+
+class YxRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "yx"; }
+  [[nodiscard]] Route compute_route(const Topology& topo, TileId src,
+                                    TileId dst) const override;
+};
+
+}  // namespace phonoc

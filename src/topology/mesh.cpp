@@ -1,0 +1,52 @@
+#include "topology/mesh.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace phonoc {
+
+Topology build_mesh(const GridOptions& options) {
+  require(options.rows >= 1 && options.cols >= 1,
+          "build_mesh: grid must be at least 1x1");
+  require(options.tile_pitch_mm > 0.0, "build_mesh: pitch must be positive");
+  Topology topo("mesh" + std::to_string(options.rows) + "x" +
+                    std::to_string(options.cols),
+                kStandardPortCount);
+  for (std::uint32_t r = 0; r < options.rows; ++r)
+    for (std::uint32_t c = 0; c < options.cols; ++c)
+      topo.add_tile(TilePosition{r, c});
+
+  const double pitch_cm = mm_to_cm(options.tile_pitch_mm);
+  const auto at = [&](std::uint32_t r, std::uint32_t c) {
+    return static_cast<TileId>(r * options.cols + c);
+  };
+  for (std::uint32_t r = 0; r < options.rows; ++r) {
+    for (std::uint32_t c = 0; c < options.cols; ++c) {
+      if (c + 1 < options.cols) {
+        // East-bound and west-bound links between horizontal neighbours.
+        topo.add_link(at(r, c), kPortEast, at(r, c + 1), kPortWest, pitch_cm);
+        topo.add_link(at(r, c + 1), kPortWest, at(r, c), kPortEast, pitch_cm);
+      }
+      if (r + 1 < options.rows) {
+        // Row r is north of row r+1: south-bound then north-bound.
+        topo.add_link(at(r, c), kPortSouth, at(r + 1, c), kPortNorth,
+                      pitch_cm);
+        topo.add_link(at(r + 1, c), kPortNorth, at(r, c), kPortSouth,
+                      pitch_cm);
+      }
+    }
+  }
+  topo.validate();
+  return topo;
+}
+
+std::uint32_t square_side_for(std::size_t tasks) {
+  require(tasks >= 1, "square_side_for: need at least one task");
+  std::uint32_t side = 1;
+  while (static_cast<std::size_t>(side) * side < tasks) ++side;
+  return side;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,18 @@
+#pragma once
+/// \file mesh.hpp
+/// \brief 2D mesh topology builder (the paper's primary case study).
+
+#include "topology/topology.hpp"
+
+namespace phonoc {
+
+/// Build a rows x cols mesh of 5-port tiles. Adjacent tiles are joined
+/// by a pair of directed links of length = tile pitch. Tile ids are
+/// row-major, row 0 at the north edge.
+[[nodiscard]] Topology build_mesh(const GridOptions& options = {});
+
+/// Smallest square grid that fits `tasks` tiles (paper sizing rule:
+/// e.g. 8 tasks -> 3x3, 16 -> 4x4, 22 -> 5x5, 32 -> 6x6).
+[[nodiscard]] std::uint32_t square_side_for(std::size_t tasks);
+
+}  // namespace phonoc

@@ -1,0 +1,28 @@
+#include "topology/ring.hpp"
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace phonoc {
+
+Topology build_ring(const RingOptions& options) {
+  require(options.tiles >= 3, "build_ring: at least three tiles");
+  require(options.tile_pitch_mm > 0.0, "build_ring: pitch must be positive");
+  Topology topo("ring" + std::to_string(options.tiles), kStandardPortCount);
+  for (std::uint32_t i = 0; i < options.tiles; ++i)
+    topo.add_tile(TilePosition{0, i});
+
+  const double pitch_cm = mm_to_cm(options.tile_pitch_mm);
+  for (std::uint32_t i = 0; i < options.tiles; ++i) {
+    const auto next = static_cast<TileId>((i + 1) % options.tiles);
+    const bool wrap = i + 1 == options.tiles;
+    const double len = wrap ? pitch_cm * (options.tiles - 1) : pitch_cm;
+    topo.add_link(i, kPortEast, next, kPortWest, len);
+    topo.add_link(next, kPortWest, i, kPortEast, len);
+  }
+  topo.validate();
+  return topo;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,21 @@
+#pragma once
+/// \file ring.hpp
+/// \brief Unidirectional-pair ring topology (extensibility demonstrator:
+/// a non-grid topology exercising the table-routing path).
+
+#include "topology/topology.hpp"
+
+namespace phonoc {
+
+struct RingOptions {
+  std::uint32_t tiles = 8;
+  double tile_pitch_mm = 2.5;
+};
+
+/// Tiles on a cycle; each consecutive pair is joined by an East-bound
+/// and a West-bound link (clockwise/counter-clockwise). Tiles are laid
+/// out on a single row for floorplan purposes; the closing link has
+/// length (tiles - 1) pitches.
+[[nodiscard]] Topology build_ring(const RingOptions& options = {});
+
+}  // namespace phonoc

@@ -1,0 +1,50 @@
+#include "topology/torus.hpp"
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace phonoc {
+
+Topology build_torus(const TorusOptions& options) {
+  require(options.rows >= 2 && options.cols >= 2,
+          "build_torus: grid must be at least 2x2");
+  require(options.tile_pitch_mm > 0.0, "build_torus: pitch must be positive");
+  Topology topo("torus" + std::to_string(options.rows) + "x" +
+                    std::to_string(options.cols),
+                kStandardPortCount);
+  for (std::uint32_t r = 0; r < options.rows; ++r)
+    for (std::uint32_t c = 0; c < options.cols; ++c)
+      topo.add_tile(TilePosition{r, c});
+
+  const double pitch_cm = mm_to_cm(options.tile_pitch_mm);
+  const auto at = [&](std::uint32_t r, std::uint32_t c) {
+    return static_cast<TileId>((r % options.rows) * options.cols +
+                               (c % options.cols));
+  };
+  const auto east_len = [&](std::uint32_t c) {
+    if (options.folded) return 2.0 * pitch_cm;
+    const bool wrap = c + 1 == options.cols;
+    return wrap ? pitch_cm * (options.cols - 1) : pitch_cm;
+  };
+  const auto south_len = [&](std::uint32_t r) {
+    if (options.folded) return 2.0 * pitch_cm;
+    const bool wrap = r + 1 == options.rows;
+    return wrap ? pitch_cm * (options.rows - 1) : pitch_cm;
+  };
+
+  for (std::uint32_t r = 0; r < options.rows; ++r) {
+    for (std::uint32_t c = 0; c < options.cols; ++c) {
+      topo.add_link(at(r, c), kPortEast, at(r, c + 1), kPortWest, east_len(c));
+      topo.add_link(at(r, c + 1), kPortWest, at(r, c), kPortEast, east_len(c));
+      topo.add_link(at(r, c), kPortSouth, at(r + 1, c), kPortNorth,
+                    south_len(r));
+      topo.add_link(at(r + 1, c), kPortNorth, at(r, c), kPortSouth,
+                    south_len(r));
+    }
+  }
+  topo.validate();
+  return topo;
+}
+
+}  // namespace phonoc

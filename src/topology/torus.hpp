@@ -1,0 +1,21 @@
+#pragma once
+/// \file torus.hpp
+/// \brief 2D torus topology builder (the paper's second case study).
+
+#include "topology/topology.hpp"
+
+namespace phonoc {
+
+struct TorusOptions : GridOptions {
+  /// Folded-torus layout: all links (including wrap-around) have the
+  /// length of two tile pitches, the standard way to equalize link
+  /// lengths on a planar die. When false, neighbour links get one pitch
+  /// and wrap links get (dimension - 1) pitches (naive layout).
+  bool folded = true;
+};
+
+/// Build a rows x cols torus of 5-port tiles (every row and column is a
+/// cycle; every tile has all four neighbours).
+[[nodiscard]] Topology build_torus(const TorusOptions& options = {});
+
+}  // namespace phonoc

@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+
+CliOptions::CliOptions(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself an option,
+    // otherwise a bare boolean flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "1";
+    }
+  }
+}
+
+bool CliOptions::has(const std::string& name) const noexcept {
+  return options_.count(name) > 0;
+}
+
+std::optional<std::string> CliOptions::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliOptions::get_or(const std::string& name,
+                               const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double CliOptions::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  return value ? parse_double(*value) : fallback;
+}
+
+std::int64_t CliOptions::get_int(const std::string& name,
+                                 std::int64_t fallback) const {
+  const auto value = get(name);
+  return value ? parse_long(*value) : fallback;
+}
+
+bool CliOptions::get_bool(const std::string& name, bool fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  const auto lowered = to_lower(*value);
+  return !(lowered == "0" || lowered == "false" || lowered == "no" ||
+           lowered.empty());
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  try {
+    return parse_long(raw);
+  } catch (const ParseError&) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  try {
+    return parse_double(raw);
+  } catch (const ParseError&) {
+    return fallback;
+  }
+}
+
+bool full_scale_requested() { return env_int("PHONOC_FULL", 0) != 0; }
+
+}  // namespace phonoc

@@ -1,0 +1,13 @@
+#include "util/error.hpp"
+
+namespace phonoc {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+void require_model(bool condition, const std::string& message) {
+  if (!condition) throw ModelError(message);
+}
+
+}  // namespace phonoc

@@ -1,0 +1,54 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger (stderr). Default level is Warning so the
+/// library is silent in normal operation; examples and benches raise it.
+
+#include <sstream>
+#include <string>
+
+namespace phonoc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+/// Set / query the global log threshold (not thread-safe by design: the
+/// level is configured once at startup by the hosting binary).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a single log line when `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_message(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::Debug);
+}
+[[nodiscard]] inline detail::LogStream log_info() {
+  return detail::LogStream(LogLevel::Info);
+}
+[[nodiscard]] inline detail::LogStream log_warning() {
+  return detail::LogStream(LogLevel::Warning);
+}
+[[nodiscard]] inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::Error);
+}
+
+}  // namespace phonoc

@@ -1,0 +1,79 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming statistics and fixed-bin histograms.
+///
+/// Used by the Fig. 3 reproduction (probability distribution of SNR /
+/// power loss over large random-mapping samples) and by the benchmark
+/// summaries.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace phonoc {
+
+/// Single-pass accumulator for mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range, uniform-bin histogram with under/overflow bins.
+class Histogram {
+ public:
+  /// Bins span [lo, hi) uniformly; values outside land in the
+  /// underflow/overflow counters. `bins` must be >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_low(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Probability mass of bin i (count / total samples), 0 when empty.
+  [[nodiscard]] double probability(std::size_t i) const noexcept;
+
+  /// Cumulative probability up to and including bin i.
+  [[nodiscard]] double cumulative(std::size_t i) const noexcept;
+
+  /// Render a compact fixed-width ASCII chart (one row per bin), used by
+  /// the Fig. 3 harness for terminal inspection.
+  [[nodiscard]] std::string ascii_chart(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Quantile of an unsorted sample (copies and sorts; linear interpolation).
+/// `q` in [0,1]; empty input returns 0.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+}  // namespace phonoc

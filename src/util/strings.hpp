@@ -1,0 +1,34 @@
+#pragma once
+/// \file strings.hpp
+/// \brief Small string helpers shared by the IO and reporting layers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phonoc {
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Split on a delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on arbitrary whitespace runs; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Parse helpers that throw phonoc::ParseError on malformed input.
+[[nodiscard]] double parse_double(std::string_view text, int line = -1);
+[[nodiscard]] long parse_long(std::string_view text, int line = -1);
+
+/// Format a double with fixed precision (reporting convenience).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace phonoc

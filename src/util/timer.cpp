@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+// Header-only component; translation unit kept for uniform module layout.

@@ -1,0 +1,29 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Monotonic wall-clock timer used for optimizer time budgets.
+
+#include <chrono>
+
+namespace phonoc {
+
+/// Thin wrapper over steady_clock; starts on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,10 @@
+#include "util/units.hpp"
+
+// Header-only; this translation unit exists so the module shows up in the
+// library and gets compiled with the project warning set at least once.
+namespace phonoc {
+namespace {
+[[maybe_unused]] constexpr double kCompileCheck = mm_to_cm(25.0);
+static_assert(kCompileCheck == 2.5);
+}  // namespace
+}  // namespace phonoc

@@ -1,0 +1,47 @@
+#pragma once
+/// \file units.hpp
+/// \brief Decibel / linear power conversions and small physical-unit helpers.
+///
+/// Conventions used throughout PhoNoCMap:
+///  * power *gains* are expressed either in dB (negative for losses, e.g.
+///    a crossing contributes -0.04 dB) or as linear power ratios in (0, 1];
+///  * `db_to_linear(-3.0) ~= 0.5`, `linear_to_db(0.5) ~= -3.0`;
+///  * distances are in centimetres, matching the paper's propagation-loss
+///    coefficient of -0.274 dB/cm.
+
+#include <cmath>
+#include <limits>
+
+namespace phonoc {
+
+/// Convert a power ratio expressed in decibel to a linear power ratio.
+[[nodiscard]] inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert a linear power ratio to decibel. `linear <= 0` yields -infinity,
+/// which models a fully blocked path (and keeps min/max reductions sane).
+[[nodiscard]] inline double linear_to_db(double linear) noexcept {
+  if (linear <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(linear);
+}
+
+/// Signal-to-noise ratio in dB from linear signal/noise powers.
+/// Zero noise maps to +infinity; callers clamp with `snr_ceiling_db`.
+[[nodiscard]] inline double snr_db(double signal_linear,
+                                   double noise_linear) noexcept {
+  if (noise_linear <= 0.0) return std::numeric_limits<double>::infinity();
+  if (signal_linear <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(signal_linear / noise_linear);
+}
+
+/// Millimetres to centimetres (floorplan dimensions are entered in mm).
+[[nodiscard]] constexpr double mm_to_cm(double mm) noexcept { return mm / 10.0; }
+
+/// True when two doubles agree within an absolute tolerance.
+[[nodiscard]] inline bool approx_equal(double a, double b,
+                                       double tol = 1e-9) noexcept {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,99 @@
+// Tests for the exact branch-and-bound loss solver, and its use as a
+// certification oracle for the heuristics.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "mapping/branch_and_bound.hpp"
+#include "mapping/exhaustive.hpp"
+#include "util/error.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/generator.hpp"
+
+namespace phonoc {
+namespace {
+
+OptimizerBudget evals(std::uint64_t n) {
+  OptimizerBudget budget;
+  budget.max_evaluations = n;
+  return budget;
+}
+
+MappingProblem loss_problem(CommGraph cg, std::uint32_t side) {
+  auto network = make_network(TopologyKind::Mesh, side, "crux");
+  return MappingProblem(std::move(cg), network,
+                        make_objective(OptimizationGoal::InsertionLoss));
+}
+
+TEST(BranchAndBound, MatchesExhaustiveOnTinyInstances) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto cg = random_cg({.tasks = 4,
+                         .avg_out_degree = 1.5,
+                         .min_bandwidth = 8,
+                         .max_bandwidth = 64,
+                         .seed = seed,
+                         .acyclic = false});
+    const auto problem = loss_problem(std::move(cg), 2);
+    const Engine engine(problem);
+    const auto exhaustive = engine.run("exhaustive", evals(100), 0);
+    const auto bnb = engine.run("bnb", evals(100000), 0);
+    EXPECT_NEAR(bnb.best_evaluation.worst_loss_db,
+                exhaustive.best_evaluation.worst_loss_db, 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(BranchAndBound, SolvesMidSizeInstanceAndPrunes) {
+  // 8 tasks on 3x3 = 181440 assignments; the solver must prove the
+  // optimum while evaluating only a fraction of them.
+  const auto problem = loss_problem(make_benchmark("pip"), 3);
+  Evaluator evaluator(problem);
+  const BranchAndBound bnb(problem.cg(), problem.network_ptr());
+  const auto result = bnb.optimize(evaluator, problem.task_count(),
+                                   problem.tile_count(), evals(2000000), 0);
+  EXPECT_TRUE(bnb.proved_optimal());
+  EXPECT_LT(result.evaluations, 181440u / 2);  // pruning actually bites
+  // The proved optimum upper-bounds every heuristic.
+  const Engine engine(problem);
+  const auto rpbla = engine.run("rpbla", evals(5000), 3);
+  EXPECT_GE(result.best_fitness + 1e-9,
+            rpbla.best_evaluation.worst_loss_db);
+}
+
+TEST(BranchAndBound, HeuristicsReachTheCertifiedOptimumOnPip) {
+  const auto problem = loss_problem(make_benchmark("pip"), 3);
+  const Engine engine(problem);
+  const auto optimum = engine.run("bnb", evals(2000000), 0);
+  const auto rpbla = engine.run("rpbla", evals(8000), 3);
+  // R-PBLA should actually attain the optimum on this small instance.
+  EXPECT_NEAR(rpbla.best_evaluation.worst_loss_db,
+              optimum.best_evaluation.worst_loss_db, 0.15);
+}
+
+TEST(BranchAndBound, BudgetPreemptionIsReported) {
+  // A one-evaluation budget is exhausted at the very first leaf, so the
+  // solver must report the search as incomplete (pruning can otherwise
+  // legitimately finish VOPD-sized instances within surprisingly few
+  // leaf evaluations).
+  const auto problem = loss_problem(make_benchmark("vopd"), 4);
+  Evaluator evaluator(problem);
+  const BranchAndBound bnb(problem.cg(), problem.network_ptr());
+  const auto result = bnb.optimize(evaluator, problem.task_count(),
+                                   problem.tile_count(), evals(1), 0);
+  EXPECT_FALSE(bnb.proved_optimal());
+  EXPECT_GE(result.evaluations, 1u);  // still returns a valid mapping
+}
+
+TEST(BranchAndBound, ValidatesProblemShape) {
+  const auto problem = loss_problem(make_benchmark("pip"), 3);
+  Evaluator evaluator(problem);
+  const BranchAndBound bnb(problem.cg(), problem.network_ptr());
+  EXPECT_THROW((void)bnb.optimize(evaluator, 3, problem.tile_count(),
+                                  evals(10), 0),
+               InvalidArgument);
+  EXPECT_THROW(BranchAndBound(problem.cg(), nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phonoc

@@ -1,0 +1,362 @@
+// Unit tests for the network-level analytical model: path construction,
+// insertion loss, crosstalk/SNR, conflict policies, power budget.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/comm_graph.hpp"
+#include "model/crosstalk_analysis.hpp"
+#include "model/evaluation.hpp"
+#include "model/loss_analysis.hpp"
+#include "model/network_model.hpp"
+#include "model/power_budget.hpp"
+#include "router/crux.hpp"
+#include "router/router_model.hpp"
+#include "routing/xy.hpp"
+#include "routing/yx.hpp"
+#include "topology/mesh.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace phonoc {
+namespace {
+
+std::shared_ptr<const NetworkModel> make_mesh_network(
+    std::uint32_t side, NetworkModelOptions options = {}) {
+  GridOptions grid;
+  grid.rows = grid.cols = side;
+  auto router = std::make_shared<const RouterModel>(
+      build_crux(), PhysicalParameters::paper_defaults());
+  return std::make_shared<const NetworkModel>(
+      build_mesh(grid), router, std::make_shared<const XyRouting>(), options);
+}
+
+// Hand-computed Crux connection losses (dB) used in expectations below.
+constexpr double kInjectEastDb = -0.04 - 0.5 - 3 * 0.045;      // L->E = -0.675
+constexpr double kEjectFromWestDb = -3 * 0.045 - 0.5 - 0.045 - 0.04;  // W->L
+constexpr double kStraightWEDb = -4 * 0.045;                   // W->E = -0.18
+constexpr double kLinkDb = -0.274 * 0.25;                      // 2.5 mm pitch
+
+TEST(NetworkModel, SingleHopLossHandComputed) {
+  const auto net = make_mesh_network(2);
+  const auto t0 = net->topology().tile_at(0, 0);
+  const auto t1 = net->topology().tile_at(0, 1);
+  EXPECT_NEAR(net->path_loss_db(t0, t1),
+              kInjectEastDb + kLinkDb + kEjectFromWestDb, 1e-9);
+}
+
+TEST(NetworkModel, TwoHopLossAddsStraightRouter) {
+  const auto net = make_mesh_network(3);
+  const auto t0 = net->topology().tile_at(0, 0);
+  const auto t2 = net->topology().tile_at(0, 2);
+  EXPECT_NEAR(net->path_loss_db(t0, t2),
+              kInjectEastDb + 2 * kLinkDb + kStraightWEDb + kEjectFromWestDb,
+              1e-9);
+}
+
+TEST(NetworkModel, PrefixSuffixIdentityAllPairs) {
+  // arrive_gain[i] * conn_gain[i] * exit_suffix[i] == total_gain for
+  // every hop of every path: the core invariant of PathData.
+  const auto net = make_mesh_network(4);
+  const auto& router = net->router();
+  for (TileId s = 0; s < net->tile_count(); ++s) {
+    for (TileId d = 0; d < net->tile_count(); ++d) {
+      if (s == d) continue;
+      const auto& path = net->path(s, d);
+      for (std::size_t i = 0; i < path.hops.size(); ++i) {
+        EXPECT_NEAR(path.arrive_gain[i] *
+                        router.connection_gain(path.conn[i]) *
+                        path.exit_suffix[i],
+                    path.total_gain, 1e-12);
+      }
+      EXPECT_NEAR(linear_to_db(path.total_gain), path.total_loss_db, 1e-9);
+    }
+  }
+}
+
+TEST(NetworkModel, HopIndexAtMatchesHops) {
+  const auto net = make_mesh_network(4);
+  const auto& path = net->path(0, 15);
+  for (std::size_t i = 0; i < path.hops.size(); ++i)
+    EXPECT_EQ(path.hop_index_at(path.hops[i].tile), static_cast<int>(i));
+  EXPECT_EQ(path.hop_index_at(5), -1);  // (1,1) not on the 0->15 XY route
+}
+
+TEST(NetworkModel, CruxRejectsYxRouting) {
+  GridOptions grid;
+  grid.rows = grid.cols = 3;
+  auto router = std::make_shared<const RouterModel>(
+      build_crux(), PhysicalParameters::paper_defaults());
+  EXPECT_THROW(NetworkModel(build_mesh(grid), router,
+                            std::make_shared<const YxRouting>(), {}),
+               ModelError);
+}
+
+TEST(NetworkModel, PathAccessorsValidate) {
+  const auto net = make_mesh_network(2);
+  EXPECT_THROW((void)net->path(0, 0), InvalidArgument);
+  EXPECT_THROW((void)net->path(0, 99), InvalidArgument);
+}
+
+TEST(NetworkModel, WorstCasePathLossBoundsEveryPair) {
+  const auto net = make_mesh_network(3);
+  const double worst = net->worst_case_path_loss_db();
+  for (TileId s = 0; s < net->tile_count(); ++s) {
+    for (TileId d = 0; d < net->tile_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_GE(net->path_loss_db(s, d), worst - 1e-12);
+    }
+  }
+}
+
+// --- noise ------------------------------------------------------------------
+
+TEST(Noise, EjectionIntoVictimSourceRouterAtCrossingFloor) {
+  // Victim a->b injects L->E at tile (0,0); attacker c->a ejects S->L at
+  // the same router: they interact only at the XLL crossing (Kc).
+  const auto net = make_mesh_network(2);
+  const auto& topo = net->topology();
+  const auto t00 = topo.tile_at(0, 0);
+  const auto t01 = topo.tile_at(0, 1);
+  const auto t10 = topo.tile_at(1, 0);
+  const auto& victim = net->path(t00, t01);
+  const auto& attacker = net->path(t10, t00);
+
+  const double noise = noise_contribution(*net, victim, attacker);
+  // attacker L->N loss at its source router, then the link:
+  const double attacker_arrive =
+      db_to_linear(-0.04 - 2 * 0.045 - 0.5) * db_to_linear(kLinkDb);
+  // victim downstream after its source router: link + W->L ejection.
+  const double victim_suffix =
+      db_to_linear(kLinkDb) * db_to_linear(kEjectFromWestDb);
+  EXPECT_NEAR(noise, attacker_arrive * 1e-4 * victim_suffix, 1e-12);
+}
+
+TEST(Noise, DisjointPathsContributeNothing) {
+  const auto net = make_mesh_network(3);
+  const auto& topo = net->topology();
+  // Top row east vs bottom row east: no shared routers.
+  const auto& a = net->path(topo.tile_at(0, 0), topo.tile_at(0, 1));
+  const auto& b = net->path(topo.tile_at(2, 0), topo.tile_at(2, 1));
+  EXPECT_DOUBLE_EQ(noise_contribution(*net, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(noise_contribution(*net, b, a), 0.0);
+}
+
+TEST(Noise, ConflictPolicyIgnoreAddsRingConflictNoise) {
+  // Victim turns W->N at the center tile while the attacker injects
+  // L->E there: a ring-state conflict. Exclude drops it; Ignore keeps
+  // the nominal coefficient, so Ignore must report at least as much
+  // noise.
+  NetworkModelOptions exclude_opts;
+  NetworkModelOptions ignore_opts;
+  ignore_opts.conflict_policy = ConflictPolicy::Ignore;
+  const auto net_ex = make_mesh_network(3, exclude_opts);
+  const auto net_ig = make_mesh_network(3, ignore_opts);
+  const auto& topo = net_ex->topology();
+  const auto victim_src = topo.tile_at(1, 0);
+  const auto victim_dst = topo.tile_at(0, 1);  // E then N through (1,1)
+  const auto att_src = topo.tile_at(1, 1);
+  const auto att_dst = topo.tile_at(1, 2);
+
+  const double noise_ex = noise_contribution(
+      *net_ex, net_ex->path(victim_src, victim_dst),
+      net_ex->path(att_src, att_dst));
+  const double noise_ig = noise_contribution(
+      *net_ig, net_ig->path(victim_src, victim_dst),
+      net_ig->path(att_src, att_dst));
+  EXPECT_DOUBLE_EQ(noise_ex, 0.0);
+  EXPECT_GT(noise_ig, 0.0);
+}
+
+// --- evaluate_mapping ---------------------------------------------------------
+
+CommGraph three_task_chain() {
+  CommGraph cg("chain");
+  cg.add_task("a");
+  cg.add_task("b");
+  cg.add_task("c");
+  cg.add_communication("a", "b", 64);
+  cg.add_communication("b", "c", 64);
+  return cg;
+}
+
+TEST(Evaluate, WorstValuesMatchDetailedMinimum) {
+  const auto net = make_mesh_network(3);
+  const auto cg = three_task_chain();
+  const std::vector<TileId> assignment{0, 4, 8};
+  const auto result = evaluate_mapping(*net, cg, assignment, true);
+  ASSERT_EQ(result.edges.size(), 2u);
+  double min_loss = 0.0;
+  double min_snr = net->options().snr_ceiling_db;
+  for (const auto& e : result.edges) {
+    min_loss = std::min(min_loss, e.loss_db);
+    min_snr = std::min(min_snr, e.snr_db);
+  }
+  EXPECT_DOUBLE_EQ(result.worst_loss_db, min_loss);
+  EXPECT_DOUBLE_EQ(result.worst_snr_db, min_snr);
+}
+
+TEST(Evaluate, SingleEdgeHitsSnrCeiling) {
+  NetworkModelOptions options;
+  options.snr_ceiling_db = 150.0;
+  const auto net = make_mesh_network(2, options);
+  CommGraph cg("pair");
+  cg.add_task("a");
+  cg.add_task("b");
+  cg.add_communication("a", "b", 1);
+  const std::vector<TileId> assignment{0, 3};
+  const auto result = evaluate_mapping(*net, cg, assignment);
+  EXPECT_DOUBLE_EQ(result.worst_snr_db, 150.0);  // no attacker, no noise
+  EXPECT_LT(result.worst_loss_db, 0.0);
+}
+
+TEST(Evaluate, EdgelessGraphIsNeutral) {
+  const auto net = make_mesh_network(2);
+  CommGraph cg("lonely");
+  cg.add_task("only");
+  const std::vector<TileId> assignment{2};
+  const auto result = evaluate_mapping(*net, cg, assignment);
+  EXPECT_DOUBLE_EQ(result.worst_loss_db, 0.0);
+  EXPECT_DOUBLE_EQ(result.worst_snr_db, net->options().snr_ceiling_db);
+}
+
+TEST(Evaluate, RejectsIllegalAssignments) {
+  const auto net = make_mesh_network(2);
+  const auto cg = three_task_chain();
+  EXPECT_THROW(evaluate_mapping(*net, cg, std::vector<TileId>{0, 1}),
+               InvalidArgument);  // size mismatch
+  EXPECT_THROW(evaluate_mapping(*net, cg, std::vector<TileId>{0, 1, 1}),
+               InvalidArgument);  // duplicate tile
+  EXPECT_THROW(evaluate_mapping(*net, cg, std::vector<TileId>{0, 1, 9}),
+               InvalidArgument);  // out of range
+}
+
+TEST(Evaluate, FullFidelityNoiseNeverExceedsSimplified) {
+  NetworkModelOptions simp;
+  NetworkModelOptions full;
+  full.fidelity = ModelFidelity::Full;
+  const auto net_s = make_mesh_network(3, simp);
+  const auto net_f = make_mesh_network(3, full);
+  const auto cg = three_task_chain();
+  const std::vector<TileId> assignment{0, 1, 5};
+  const auto rs = evaluate_mapping(*net_s, cg, assignment, true);
+  const auto rf = evaluate_mapping(*net_f, cg, assignment, true);
+  for (std::size_t i = 0; i < rs.edges.size(); ++i) {
+    EXPECT_LE(rf.edges[i].noise_gain, rs.edges[i].noise_gain + 1e-15);
+    EXPECT_GE(rf.edges[i].snr_db, rs.edges[i].snr_db - 1e-9);
+  }
+}
+
+TEST(Evaluate, DeterministicAcrossCalls) {
+  const auto net = make_mesh_network(3);
+  const auto cg = three_task_chain();
+  const std::vector<TileId> assignment{3, 4, 7};
+  const auto a = evaluate_mapping(*net, cg, assignment, true);
+  const auto b = evaluate_mapping(*net, cg, assignment, true);
+  EXPECT_DOUBLE_EQ(a.worst_loss_db, b.worst_loss_db);
+  EXPECT_DOUBLE_EQ(a.worst_snr_db, b.worst_snr_db);
+}
+
+// --- loss breakdown -------------------------------------------------------------
+
+TEST(LossBreakdown, ContributionsSumToPathLoss) {
+  const auto net = make_mesh_network(4);
+  const std::pair<TileId, TileId> pairs[] = {
+      {0, 15}, {3, 12}, {5, 6}, {0, 1}};
+  for (const auto& [s, d] : pairs) {
+    const auto breakdown = analyze_path_loss(*net, s, d);
+    EXPECT_NEAR(breakdown.total_db, net->path_loss_db(s, d), 1e-9);
+    double sum = 0.0;
+    for (const auto& c : breakdown.contributions) sum += c.loss_db;
+    EXPECT_NEAR(sum, breakdown.total_db, 1e-9);
+    EXPECT_EQ(breakdown.hop_count, net->path(s, d).hops.size());
+  }
+}
+
+TEST(LossBreakdown, LabelsCarryPortNames) {
+  const auto net = make_mesh_network(2);
+  const auto breakdown = analyze_path_loss(*net, 0, 1);
+  ASSERT_FALSE(breakdown.contributions.empty());
+  EXPECT_EQ(breakdown.contributions.front().label, "L->E");
+}
+
+// --- crosstalk analysis -----------------------------------------------------------
+
+TEST(CrosstalkAnalysis, TotalsAgreeWithEvaluator) {
+  const auto net = make_mesh_network(3);
+  CommGraph cg("x");
+  cg.add_task("a");
+  cg.add_task("b");
+  cg.add_task("c");
+  cg.add_task("d");
+  cg.add_communication("a", "b", 1);
+  cg.add_communication("c", "d", 1);
+  cg.add_communication("d", "a", 1);
+  const std::vector<TileId> assignment{0, 1, 3, 4};
+  const auto reports = analyze_crosstalk(*net, cg, assignment);
+  const auto eval = evaluate_mapping(*net, cg, assignment, true);
+  ASSERT_EQ(reports.size(), eval.edges.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_NEAR(reports[i].total_noise, eval.edges[i].noise_gain, 1e-15);
+    EXPECT_NEAR(reports[i].snr_db, eval.edges[i].snr_db, 1e-9);
+    // Events sorted by decreasing contribution.
+    for (std::size_t e = 1; e < reports[i].events.size(); ++e)
+      EXPECT_GE(reports[i].events[e - 1].noise_at_detector,
+                reports[i].events[e].noise_at_detector);
+    // Every event decomposes into its three factors.
+    for (const auto& ev : reports[i].events)
+      EXPECT_NEAR(ev.noise_at_detector,
+                  ev.attacker_power * ev.coefficient * ev.downstream_gain,
+                  1e-18);
+  }
+}
+
+// --- power budget -------------------------------------------------------------------
+
+TEST(PowerBudget, HandComputed) {
+  PowerBudgetOptions options;  // sensitivity -20 dBm, max 10 dBm, 1 dB margin
+  const auto budget = compute_power_budget(-3.0, options);
+  EXPECT_NEAR(budget.required_power_dbm, -20.0 + 3.0 + 1.0, 1e-12);
+  EXPECT_NEAR(budget.available_power_dbm, 10.0, 1e-12);
+  EXPECT_NEAR(budget.slack_db, 26.0, 1e-12);
+  EXPECT_TRUE(budget.feasible);
+}
+
+TEST(PowerBudget, InfeasibleWhenLossTooHigh) {
+  const auto budget = compute_power_budget(-35.0, {});
+  EXPECT_GT(budget.required_power_dbm, budget.available_power_dbm);
+  EXPECT_FALSE(budget.feasible);
+  EXPECT_LT(budget.slack_db, 0.0);
+}
+
+TEST(PowerBudget, WavelengthChannelsSplitTheCeiling) {
+  PowerBudgetOptions options;
+  options.wavelength_channels = 10;
+  const auto budget = compute_power_budget(-2.0, options);
+  EXPECT_NEAR(budget.available_power_dbm, 0.0, 1e-12);  // 10 - 10log10(10)
+}
+
+TEST(PowerBudget, RejectsBadInput) {
+  EXPECT_THROW((void)compute_power_budget(1.0, {}), InvalidArgument);
+  PowerBudgetOptions options;
+  options.wavelength_channels = 0;
+  EXPECT_THROW((void)compute_power_budget(-1.0, options), InvalidArgument);
+}
+
+/// More loss means strictly more required laser power.
+class PowerBudgetMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerBudgetMonotonic, RequiredPowerGrowsWithLoss) {
+  const double loss = GetParam();
+  const auto a = compute_power_budget(loss, {});
+  const auto b = compute_power_budget(loss - 1.0, {});
+  EXPECT_GT(b.required_power_dbm, a.required_power_dbm);
+  EXPECT_LT(b.slack_db, a.slack_db);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, PowerBudgetMonotonic,
+                         ::testing::Values(-0.5, -2.0, -5.0, -10.0, -20.0));
+
+}  // namespace
+}  // namespace phonoc

@@ -1,0 +1,308 @@
+// Property-based tests: invariants that must hold across parameter
+// sweeps, router families, topology sizes, and random seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "graph/algorithms.hpp"
+#include "mapping/mapping.hpp"
+#include "model/evaluation.hpp"
+#include "router/registry.hpp"
+#include "router/router_model.hpp"
+#include "routing/registry.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/generator.hpp"
+
+namespace phonoc {
+namespace {
+
+// --- mesh size sweep: structural and loss monotonicity ----------------------------
+
+class MeshSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MeshSizeSweep, DiameterAndLinkCountFormulas) {
+  const auto side = GetParam();
+  GridOptions grid;
+  grid.rows = grid.cols = side;
+  const auto topo = build_mesh(grid);
+  EXPECT_EQ(topo.tile_count(), side * side);
+  EXPECT_EQ(topo.link_count(), 4u * side * (side - 1));
+  // Hop diameter of the tile graph is 2*(side-1).
+  Digraph<int> g(topo.tile_count());
+  for (const auto& link : topo.links()) g.add_edge(link.src_tile,
+                                                   link.dst_tile);
+  EXPECT_EQ(diameter(g), 2 * (side - 1));
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST_P(MeshSizeSweep, WorstPathLossGrowsWithSize) {
+  const auto side = GetParam();
+  const auto small = make_network(TopologyKind::Mesh, side, "crux");
+  const auto large = make_network(TopologyKind::Mesh, side + 1, "crux");
+  EXPECT_LT(large->worst_case_path_loss_db(),
+            small->worst_case_path_loss_db());
+}
+
+TEST_P(MeshSizeSweep, TorusWorstLossNoWorseThanMeshPerHopCount) {
+  // The torus halves the hop diameter; with folded (2x pitch) links its
+  // worst-case path loss must still beat the mesh of the same side for
+  // side >= 3 (router hops dominate over propagation).
+  const auto side = GetParam();
+  if (side < 3) return;
+  const auto mesh = make_network(TopologyKind::Mesh, side, "crux");
+  const auto torus = make_network(TopologyKind::Torus, side, "crux");
+  EXPECT_GE(torus->worst_case_path_loss_db(),
+            mesh->worst_case_path_loss_db());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, MeshSizeSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+// --- physical parameter scaling: monotone responses --------------------------------
+
+TEST(ParameterScaling, WeakerCrosstalkCoefficientsImproveSnr) {
+  // Scaling all K coefficients down (more negative dB) must not lower
+  // any mapping's worst-case SNR.
+  const auto cg = make_benchmark("mpeg4");
+  ExperimentSpec base_spec;
+  base_spec.benchmark = "mpeg4";
+  ExperimentSpec quiet_spec = base_spec;
+  quiet_spec.parameters.crossing_crosstalk_db = -50.0;
+  quiet_spec.parameters.pse_off_crosstalk_db = -30.0;
+  quiet_spec.parameters.pse_on_crosstalk_db = -35.0;
+  const auto base = make_experiment(base_spec);
+  const auto quiet = make_experiment(quiet_spec);
+  Rng rng(31);
+  for (int i = 0; i < 25; ++i) {
+    const auto mapping =
+        Mapping::random(base.task_count(), base.tile_count(), rng);
+    const auto rb = evaluate_mapping(base.network(), base.cg(),
+                                     mapping.assignment());
+    const auto rq = evaluate_mapping(quiet.network(), quiet.cg(),
+                                     mapping.assignment());
+    EXPECT_GE(rq.worst_snr_db, rb.worst_snr_db - 1e-9);
+  }
+}
+
+TEST(ParameterScaling, HigherPropagationLossHurtsEveryPath) {
+  ExperimentSpec base_spec;
+  base_spec.benchmark = "pip";
+  ExperimentSpec lossy_spec = base_spec;
+  lossy_spec.parameters.propagation_loss_db_per_cm = -2.74;  // 10x
+  const auto base = make_experiment(base_spec);
+  const auto lossy = make_experiment(lossy_spec);
+  for (TileId s = 0; s < base.tile_count(); ++s) {
+    for (TileId d = 0; d < base.tile_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_LT(lossy.network().path_loss_db(s, d),
+                base.network().path_loss_db(s, d));
+    }
+  }
+}
+
+TEST(ParameterScaling, ZeroCrosstalkMeansCeilingSnr) {
+  ExperimentSpec spec;
+  spec.benchmark = "pip";
+  // K -> -inf is not representable; -300 dB is numerically zero noise
+  // relative to the ceiling of +200 dB.
+  spec.parameters.crossing_crosstalk_db = -300.0;
+  spec.parameters.pse_off_crosstalk_db = -300.0;
+  spec.parameters.pse_on_crosstalk_db = -300.0;
+  const auto problem = make_experiment(spec);
+  Rng rng(5);
+  const auto mapping =
+      Mapping::random(problem.task_count(), problem.tile_count(), rng);
+  const auto result = evaluate_mapping(problem.network(), problem.cg(),
+                                       mapping.assignment());
+  EXPECT_GT(result.worst_snr_db, 150.0);
+}
+
+// --- router family invariants at network level --------------------------------------
+
+class RouterNetworkSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RouterNetworkSweep, AllMeshPathsBuildAndLose) {
+  GridOptions grid;
+  grid.rows = grid.cols = 4;
+  auto router = std::make_shared<const RouterModel>(
+      make_router_netlist(GetParam()), PhysicalParameters::paper_defaults());
+  const NetworkModel net(build_mesh(grid), router, make_routing("xy"), {});
+  for (TileId s = 0; s < net.tile_count(); ++s) {
+    for (TileId d = 0; d < net.tile_count(); ++d) {
+      if (s == d) continue;
+      const auto& path = net.path(s, d);
+      EXPECT_GT(path.total_gain, 0.0);
+      EXPECT_LT(path.total_gain, 1.0);
+      // Prefix/suffix identity (the PathData invariant).
+      for (std::size_t i = 0; i < path.hops.size(); ++i)
+        EXPECT_NEAR(path.arrive_gain[i] *
+                        net.router().connection_gain(path.conn[i]) *
+                        path.exit_suffix[i],
+                    path.total_gain, 1e-12);
+    }
+  }
+}
+
+TEST_P(RouterNetworkSweep, NoiseIsNonNegativeAndFiniteOnRandomMappings) {
+  GridOptions grid;
+  grid.rows = grid.cols = 4;
+  auto router = std::make_shared<const RouterModel>(
+      make_router_netlist(GetParam()), PhysicalParameters::paper_defaults());
+  auto net = std::make_shared<const NetworkModel>(
+      build_mesh(grid), router, make_routing("xy"), NetworkModelOptions{});
+  const auto cg = make_benchmark("mpeg4");
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const auto mapping = Mapping::random(cg.task_count(), 16, rng);
+    const auto result =
+        evaluate_mapping(*net, cg, mapping.assignment(), true);
+    for (const auto& edge : result.edges) {
+      EXPECT_GE(edge.noise_gain, 0.0);
+      EXPECT_LT(edge.noise_gain, 1.0);  // cannot exceed injected power
+      EXPECT_TRUE(std::isfinite(edge.snr_db));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Routers, RouterNetworkSweep,
+                         ::testing::Values("crux", "crossbar", "xy_crossbar",
+                                           "parallel"));
+
+// --- mapping-level invariances --------------------------------------------------------
+
+TEST(MappingInvariance, RelabelingTasksConsistently) {
+  // Evaluating CG edges does not depend on task declaration order:
+  // permuting task ids together with the assignment leaves worst-case
+  // metrics unchanged.
+  const auto net = make_network(TopologyKind::Mesh, 3, "crux");
+  CommGraph cg_a("a");
+  cg_a.add_task("x");
+  cg_a.add_task("y");
+  cg_a.add_task("z");
+  cg_a.add_communication("x", "y", 1);
+  cg_a.add_communication("y", "z", 1);
+  CommGraph cg_b("b");  // same graph, tasks declared in reverse
+  cg_b.add_task("z");
+  cg_b.add_task("y");
+  cg_b.add_task("x");
+  cg_b.add_communication("x", "y", 1);
+  cg_b.add_communication("y", "z", 1);
+  const std::vector<TileId> assign_a{0, 1, 5};  // x,y,z
+  const std::vector<TileId> assign_b{5, 1, 0};  // z,y,x
+  const auto ra = evaluate_mapping(*net, cg_a, assign_a);
+  const auto rb = evaluate_mapping(*net, cg_b, assign_b);
+  EXPECT_NEAR(ra.worst_loss_db, rb.worst_loss_db, 1e-12);
+  EXPECT_NEAR(ra.worst_snr_db, rb.worst_snr_db, 1e-12);
+}
+
+TEST(MappingInvariance, TranslationInvarianceInTheMeshInterior) {
+  // Shifting a communication pair along a row (same direction, same hop
+  // count, both placements clear of any asymmetric border effects)
+  // preserves insertion loss exactly: every hop uses the same router
+  // connection and the same link length.
+  const auto net = make_network(TopologyKind::Mesh, 4, "crux");
+  CommGraph cg("pair");
+  cg.add_task("a");
+  cg.add_task("b");
+  cg.add_communication("a", "b", 1);
+  const auto left = evaluate_mapping(*net, cg, std::vector<TileId>{4, 5});
+  const auto shifted =
+      evaluate_mapping(*net, cg, std::vector<TileId>{5, 6});
+  EXPECT_NEAR(left.worst_loss_db, shifted.worst_loss_db, 1e-12);
+  // Same for a vertical pair shifted one row down.
+  const auto top = evaluate_mapping(*net, cg, std::vector<TileId>{1, 5});
+  const auto down = evaluate_mapping(*net, cg, std::vector<TileId>{5, 9});
+  EXPECT_NEAR(top.worst_loss_db, down.worst_loss_db, 1e-12);
+  // Direction asymmetry of Crux is real but bounded: reversing a 1-hop
+  // eastward pair changes loss by less than 0.5 dB.
+  const auto east = evaluate_mapping(*net, cg, std::vector<TileId>{5, 6});
+  const auto west = evaluate_mapping(*net, cg, std::vector<TileId>{6, 5});
+  EXPECT_NEAR(east.worst_loss_db, west.worst_loss_db, 0.5);
+}
+
+// --- seeded randomness: end-to-end reproducibility sweep --------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EngineRunsAreReproducible) {
+  ExperimentSpec spec;
+  spec.benchmark = "mwd";
+  const auto problem = make_experiment(spec);
+  const Engine engine(problem);
+  OptimizerBudget budget;
+  budget.max_evaluations = 500;
+  const auto a = engine.run("ga", budget, GetParam());
+  const auto b = engine.run("ga", budget, GetParam());
+  EXPECT_DOUBLE_EQ(a.best_evaluation.worst_snr_db,
+                   b.best_evaluation.worst_snr_db);
+  EXPECT_TRUE(a.search.best == b.search.best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 7u, 1234u));
+
+// --- exact-solver certification sweep --------------------------------------------------
+
+/// Branch-and-bound proves the loss optimum on small random instances;
+/// no heuristic may beat it (within float noise), for any seed.
+class CertificationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertificationSweep, NoHeuristicBeatsTheProvedOptimum) {
+  auto cg = random_cg({.tasks = 6,
+                       .avg_out_degree = 1.3,
+                       .min_bandwidth = 8,
+                       .max_bandwidth = 64,
+                       .seed = GetParam(),
+                       .acyclic = false});
+  auto network = make_network(TopologyKind::Mesh, 3, "crux");
+  MappingProblem problem(std::move(cg), network,
+                         make_objective(OptimizationGoal::InsertionLoss));
+  const Engine engine(problem);
+  OptimizerBudget big;
+  big.max_evaluations = 1000000;
+  const auto optimum = engine.run("bnb", big, 0);
+  OptimizerBudget small;
+  small.max_evaluations = 1500;
+  for (const auto* heuristic : {"rs", "ga", "rpbla", "sa", "tabu",
+                                "greedy"}) {
+    const auto run = engine.run(heuristic, small, GetParam());
+    EXPECT_LE(run.best_evaluation.worst_loss_db,
+              optimum.best_evaluation.worst_loss_db + 1e-9)
+        << heuristic;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificationSweep,
+                         ::testing::Values(11u, 22u, 33u));
+
+// --- conflict policy ordering ---------------------------------------------------------
+
+TEST(ConflictPolicy, IgnoreNeverReportsLessNoise) {
+  NetworkModelOptions exclude_opts;
+  NetworkModelOptions ignore_opts;
+  ignore_opts.conflict_policy = ConflictPolicy::Ignore;
+  const auto net_ex = make_network(TopologyKind::Mesh, 4, "crux", 2.5,
+                                   PhysicalParameters::paper_defaults(),
+                                   exclude_opts);
+  const auto net_ig = make_network(TopologyKind::Mesh, 4, "crux", 2.5,
+                                   PhysicalParameters::paper_defaults(),
+                                   ignore_opts);
+  const auto cg = make_benchmark("vopd");
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto mapping = Mapping::random(cg.task_count(), 16, rng);
+    const auto rx =
+        evaluate_mapping(*net_ex, cg, mapping.assignment(), true);
+    const auto ri =
+        evaluate_mapping(*net_ig, cg, mapping.assignment(), true);
+    for (std::size_t e = 0; e < rx.edges.size(); ++e)
+      EXPECT_LE(rx.edges[e].noise_gain, ri.edges[e].noise_gain + 1e-15);
+    EXPECT_GE(rx.worst_snr_db, ri.worst_snr_db - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace phonoc

@@ -1,0 +1,343 @@
+// Unit tests for the util layer: units, rng, stats, strings, cli.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+
+namespace phonoc {
+namespace {
+
+// --- units ----------------------------------------------------------------
+
+TEST(Units, DbToLinearKnownValues) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(-3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(db_to_linear(-10.0), 0.1, 1e-12);
+  EXPECT_NEAR(db_to_linear(-20.0), 0.01, 1e-12);
+  EXPECT_NEAR(db_to_linear(-40.0), 1e-4, 1e-15);
+}
+
+TEST(Units, LinearToDbRoundTrip) {
+  for (const double db : {-0.005, -0.04, -0.5, -3.0, -20.0, -40.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, LinearToDbNonPositiveIsMinusInfinity) {
+  EXPECT_EQ(linear_to_db(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(linear_to_db(-1.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Units, SnrDb) {
+  EXPECT_NEAR(snr_db(1.0, 0.01), 20.0, 1e-9);
+  EXPECT_NEAR(snr_db(0.5, 0.5), 0.0, 1e-9);
+  EXPECT_EQ(snr_db(1.0, 0.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(snr_db(0.0, 0.1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Units, MmToCm) {
+  EXPECT_DOUBLE_EQ(mm_to_cm(25.0), 2.5);
+  EXPECT_DOUBLE_EQ(mm_to_cm(0.0), 0.0);
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.next_in(7, 7), 7);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);  // LLN sanity
+}
+
+TEST(Rng, NextBoolEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::set<int> unique(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 49);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The child must not replay the parent's sequence.
+  Rng parent_copy(42);
+  (void)parent_copy();  // advance past the fork draw
+  int same = 0;
+  for (int i = 0; i < 32; ++i)
+    if (child() == parent_copy()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitMixNonZero) {
+  std::uint64_t s = 0;
+  EXPECT_NE(splitmix64(s), 0u);
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats stats;
+  for (const auto x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / 5.0;
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  double var = 0;
+  for (const auto x : xs) var += (x - mean) * (x - mean);
+  var /= 4.0;
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndProbability) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1u);
+    EXPECT_NEAR(h.probability(b), 0.1, 1e-12);
+  }
+  EXPECT_NEAR(h.cumulative(4), 0.5, 1e-12);
+  EXPECT_NEAR(h.cumulative(9), 1.0, 1e-12);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(1.0);  // hi edge counts as overflow (half-open range)
+  h.add(0.0);  // lo edge is inside
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-4.0, 0.0, 8);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), -4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(7), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), -3.75);
+}
+
+TEST(Histogram, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, AsciiChartHasOneRowPerBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  const auto chart = h.ascii_chart(10);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 3);
+}
+
+TEST(Quantile, InterpolatesSorted) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  alpha\tbeta  gamma\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[2], "gamma");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("-0.274"), -0.274);
+  EXPECT_DOUBLE_EQ(parse_double("  42 "), 42.0);
+  EXPECT_THROW((void)parse_double("abc"), ParseError);
+  EXPECT_THROW((void)parse_double("1.5x"), ParseError);
+  EXPECT_THROW((void)parse_double(""), ParseError);
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parse_long("123"), 123);
+  EXPECT_EQ(parse_long("-7"), -7);
+  EXPECT_THROW((void)parse_long("1.5"), ParseError);
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(-1.525, 2), "-1.52");
+  EXPECT_EQ(format_fixed(3.0, 1), "3.0");
+}
+
+// --- cli ----------------------------------------------------------------------
+
+TEST(Cli, ParsesAllForms) {
+  // Note: a bare `--flag` followed by a non-option token consumes that
+  // token as its value, so positional args must precede bare flags.
+  const char* argv[] = {"prog",   "--alpha=1", "--beta", "two",
+                        "pos1",   "--flag",    "--gamma=x=y"};
+  CliOptions cli(7, argv);
+  EXPECT_EQ(cli.get_or("alpha", ""), "1");
+  EXPECT_EQ(cli.get_or("beta", ""), "two");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_or("gamma", ""), "x=y");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, TypedAccessorsAndFallbacks) {
+  const char* argv[] = {"prog", "--n=42", "--x=2.5", "--no=false"};
+  CliOptions cli(4, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+  EXPECT_FALSE(cli.get_bool("no", true));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+// --- timer / error -------------------------------------------------------------
+
+TEST(Timer, Monotonic) {
+  Timer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  try {
+    require(false, "the message");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+  EXPECT_THROW(require_model(false, "m"), ModelError);
+}
+
+TEST(Error, ParseErrorCarriesLine) {
+  const ParseError e("bad", 12);
+  EXPECT_EQ(e.line(), 12);
+  EXPECT_NE(std::string(e.what()).find("line 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phonoc

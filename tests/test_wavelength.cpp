@@ -1,0 +1,186 @@
+// Tests for the WDM wavelength-assignment extension.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "mapping/mapping.hpp"
+#include "model/evaluation.hpp"
+#include "model/wavelength.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace phonoc {
+namespace {
+
+struct Fixture {
+  MappingProblem problem;
+  Mapping mapping;
+};
+
+Fixture make_fixture(const std::string& app, std::uint64_t seed = 5) {
+  ExperimentSpec spec;
+  spec.benchmark = app;
+  auto problem = make_experiment(spec);
+  Rng rng(seed);
+  auto mapping =
+      Mapping::random(problem.task_count(), problem.tile_count(), rng);
+  return Fixture{std::move(problem), std::move(mapping)};
+}
+
+TEST(Wdm, InterferenceMatrixMatchesEvaluator) {
+  const auto fx = make_fixture("mpeg4");
+  const auto w = interference_matrix(fx.problem.network(), fx.problem.cg(),
+                                     fx.mapping.assignment());
+  const auto eval = evaluate_mapping(fx.problem.network(), fx.problem.cg(),
+                                     fx.mapping.assignment(), true);
+  ASSERT_EQ(w.size(), eval.edges.size());
+  for (std::size_t v = 0; v < w.size(); ++v) {
+    double row = 0.0;
+    for (std::size_t a = 0; a < w.size(); ++a) row += w[v][a];
+    EXPECT_NEAR(row, eval.edges[v].noise_gain, 1e-15);
+    EXPECT_DOUBLE_EQ(w[v][v], 0.0);
+  }
+}
+
+TEST(Wdm, SingleChannelEqualsBaseline) {
+  const auto fx = make_fixture("vopd");
+  WdmOptions options;
+  options.channels = 1;
+  const auto wdm = assign_wavelengths(fx.problem.network(), fx.problem.cg(),
+                                      fx.mapping.assignment(), options);
+  EXPECT_EQ(wdm.channels_used, 1u);
+  const auto with_wdm =
+      evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                           fx.mapping.assignment(), wdm, options);
+  const auto baseline = evaluate_mapping(
+      fx.problem.network(), fx.problem.cg(), fx.mapping.assignment());
+  EXPECT_NEAR(with_wdm.worst_snr_db, baseline.worst_snr_db, 1e-9);
+  EXPECT_NEAR(with_wdm.worst_loss_db, baseline.worst_loss_db, 1e-12);
+}
+
+TEST(Wdm, AssignmentStaysWithinChannelBudget) {
+  const auto fx = make_fixture("mpeg4");
+  for (const std::uint32_t channels : {1u, 2u, 3u, 8u}) {
+    WdmOptions options;
+    options.channels = channels;
+    const auto wdm = assign_wavelengths(
+        fx.problem.network(), fx.problem.cg(), fx.mapping.assignment(),
+        options);
+    EXPECT_LE(wdm.channels_used, channels);
+    for (const auto c : wdm.channel) EXPECT_LT(c, channels);
+  }
+}
+
+TEST(Wdm, Deterministic) {
+  const auto fx = make_fixture("wavelet");
+  WdmOptions options;
+  options.channels = 4;
+  const auto a = assign_wavelengths(fx.problem.network(), fx.problem.cg(),
+                                    fx.mapping.assignment(), options);
+  const auto b = assign_wavelengths(fx.problem.network(), fx.problem.cg(),
+                                    fx.mapping.assignment(), options);
+  EXPECT_EQ(a.channel, b.channel);
+  EXPECT_DOUBLE_EQ(a.residual_weight, b.residual_weight);
+}
+
+TEST(Wdm, ResidualWeightShrinksWithChannels) {
+  const auto fx = make_fixture("mpeg4");
+  double previous = -1.0;
+  for (const std::uint32_t channels : {1u, 2u, 4u, 8u}) {
+    WdmOptions options;
+    options.channels = channels;
+    const auto wdm = assign_wavelengths(
+        fx.problem.network(), fx.problem.cg(), fx.mapping.assignment(),
+        options);
+    if (previous >= 0.0) {
+      EXPECT_LE(wdm.residual_weight, previous + 1e-15);
+    }
+    previous = wdm.residual_weight;
+  }
+}
+
+TEST(Wdm, NearIdealIsolationWithManyChannelsApproachesCeiling) {
+  const auto fx = make_fixture("pip");
+  WdmOptions options;
+  options.channels =
+      static_cast<std::uint32_t>(fx.problem.cg().communication_count());
+  options.inter_channel_isolation_db = -300.0;  // effectively ideal
+  const auto wdm = assign_wavelengths(fx.problem.network(), fx.problem.cg(),
+                                      fx.mapping.assignment(), options);
+  const auto result =
+      evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                           fx.mapping.assignment(), wdm, options);
+  // Every pair separable: residual intra-channel noise ~ 0.
+  EXPECT_GT(result.worst_snr_db, 150.0);
+}
+
+TEST(Wdm, StrongerIsolationNeverHurts) {
+  const auto fx = make_fixture("vopd");
+  WdmOptions coarse;
+  coarse.channels = 4;
+  coarse.inter_channel_isolation_db = -10.0;
+  const auto wdm = assign_wavelengths(fx.problem.network(), fx.problem.cg(),
+                                      fx.mapping.assignment(), coarse);
+  WdmOptions fine = coarse;
+  fine.inter_channel_isolation_db = -40.0;
+  const auto rc = evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                                       fx.mapping.assignment(), wdm, coarse);
+  const auto rf = evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                                       fx.mapping.assignment(), wdm, fine);
+  EXPECT_GE(rf.worst_snr_db, rc.worst_snr_db - 1e-9);
+}
+
+/// Channel sweep property: with ideal isolation, more channels never
+/// lower the worst-case SNR (greedy joins the least-noisy channel, so
+/// an extra empty channel can only help or tie).
+class WdmChannelSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WdmChannelSweep, MoreChannelsNeverWorse) {
+  const auto fx = make_fixture(GetParam());
+  double previous_snr = -1e9;
+  for (const std::uint32_t channels : {1u, 2u, 4u, 8u}) {
+    WdmOptions options;
+    options.channels = channels;
+    options.inter_channel_isolation_db = -300.0;
+    const auto wdm = assign_wavelengths(
+        fx.problem.network(), fx.problem.cg(), fx.mapping.assignment(),
+        options);
+    const auto result =
+        evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                             fx.mapping.assignment(), wdm, options);
+    EXPECT_GE(result.worst_snr_db, previous_snr - 1e-9)
+        << channels << " channels";
+    previous_snr = result.worst_snr_db;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, WdmChannelSweep,
+                         ::testing::Values("pip", "mwd", "mpeg4", "vopd"));
+
+TEST(Wdm, Validation) {
+  const auto fx = make_fixture("pip");
+  WdmOptions options;
+  options.channels = 0;
+  EXPECT_THROW((void)assign_wavelengths(fx.problem.network(),
+                                        fx.problem.cg(),
+                                        fx.mapping.assignment(), options),
+               InvalidArgument);
+  WdmOptions gain;
+  gain.inter_channel_isolation_db = 1.0;
+  WdmAssignment wdm;
+  wdm.channel.assign(fx.problem.cg().communication_count(), 0);
+  EXPECT_THROW(
+      (void)evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                                 fx.mapping.assignment(), wdm, gain),
+      InvalidArgument);
+  WdmAssignment short_wdm;  // wrong edge coverage
+  EXPECT_THROW(
+      (void)evaluate_mapping_wdm(fx.problem.network(), fx.problem.cg(),
+                                 fx.mapping.assignment(), short_wdm,
+                                 WdmOptions{}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phonoc
