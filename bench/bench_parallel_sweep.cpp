@@ -1,0 +1,104 @@
+/// \file bench_parallel_sweep.cpp
+/// \brief P2 — batch-exploration throughput: wall-clock speedup of the
+/// BatchEngine parallel path over the sequential protocol on a
+/// Table II-style grid, plus a bit-identity check between the two.
+///
+/// The grid (8 apps x 2 topologies x 2 objectives x 2 algorithms x 2
+/// seeds = 128 cells by default) is executed twice: once on a single
+/// worker (the sequential reference) and once on the full pool. The
+/// acceptance bar for the subsystem is >= 2x speedup on >= 4 workers at
+/// >= 100 cells, with every RunResult bit-identical between the runs.
+///
+/// --evals=N cell budget (default 1500; PHONOC_SWEEP_EVALS overrides),
+/// --workers=N pool size for the parallel pass (default all threads),
+/// --csv=FILE dump the aggregated report.
+
+#include <fstream>
+#include <iostream>
+
+#include "exec/aggregate.hpp"
+#include "exec/batch_engine.hpp"
+#include "exec/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace phonoc;
+
+/// Bit-identity of two runs: same incumbent, same fitness, same
+/// evaluation count, same trace length (timing fields excluded).
+bool identical(const CellResult& a, const CellResult& b) {
+  return a.run.search.best == b.run.search.best &&
+         a.run.search.best_fitness == b.run.search.best_fitness &&
+         a.run.search.evaluations == b.run.search.evaluations &&
+         a.run.search.trace.size() == b.run.search.trace.size() &&
+         a.run.best_evaluation.worst_loss_db ==
+             b.run.best_evaluation.worst_loss_db &&
+         a.run.best_evaluation.worst_snr_db ==
+             b.run.best_evaluation.worst_snr_db;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli(argc, argv);
+  const auto evals = static_cast<std::uint64_t>(
+      cli.get_int("evals", env_int("PHONOC_SWEEP_EVALS", 1500)));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+
+  SweepSpec spec;
+  spec.add_all_benchmarks()
+      .add_topology(TopologyKind::Mesh)
+      .add_topology(TopologyKind::Torus)
+      .add_goal(OptimizationGoal::Snr)
+      .add_goal(OptimizationGoal::InsertionLoss)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(evals)
+      .add_seed_range(1, 2);
+
+  const BatchEngine sequential({.workers = 1});
+  const BatchEngine parallel({.workers = workers});
+  std::cout << "# P2: parallel batch-exploration speedup, " << cell_count(spec)
+            << " cells x " << evals << " evaluations, pool of "
+            << parallel.worker_count() << " worker(s)\n\n";
+
+  Timer timer;
+  const auto sequential_results = sequential.run(spec);
+  const double sequential_seconds = timer.elapsed_seconds();
+  timer.restart();
+  const auto parallel_results = parallel.run(spec);
+  const double parallel_seconds = timer.elapsed_seconds();
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < sequential_results.size(); ++i)
+    if (!identical(sequential_results[i], parallel_results[i])) ++mismatches;
+
+  const auto report = SweepReport::build(spec, parallel_results);
+  std::cout << report.to_ascii() << '\n';
+
+  const double speedup =
+      parallel_seconds > 0.0 ? sequential_seconds / parallel_seconds : 0.0;
+  std::cout << "# sequential (1 worker): "
+            << format_fixed(sequential_seconds, 2) << " s\n"
+            << "# parallel  (" << parallel.worker_count()
+            << " workers): " << format_fixed(parallel_seconds, 2) << " s\n"
+            << "# speedup: " << format_fixed(speedup, 2) << "x  ("
+            << (speedup >= 2.0 ? "PASS" : "below")
+            << " the >=2x acceptance bar)\n"
+            << "# determinism: " << mismatches << " mismatched cells of "
+            << sequential_results.size()
+            << (mismatches == 0 ? " (bit-identical)" : " (BUG)") << '\n';
+
+  if (const auto csv_path = cli.get("csv")) {
+    std::ofstream out(*csv_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << *csv_path << " for writing\n";
+      return 1;
+    }
+    report.write_csv(out);
+    std::cout << "# aggregated report written to " << *csv_path << '\n';
+  }
+  return mismatches == 0 ? 0 : 1;
+}

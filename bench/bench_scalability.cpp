@@ -10,11 +10,16 @@
 /// Part 2: mesh-side sweep with full-occupancy synthetic workloads,
 /// comparing random vs optimized mappings and reporting the laser-power
 /// feasibility verdict for each size.
+///
+/// Both parts run as BatchEngine sweeps (--workers=N, default all
+/// hardware threads; 1 reproduces the sequential protocol cell for
+/// cell). Part 2 exploits the auto-sizing rule: a side*side-task random
+/// workload on an auto-sized mesh occupies every tile.
 
 #include <iostream>
 
-#include "core/engine.hpp"
-#include "core/experiment.hpp"
+#include "exec/batch_engine.hpp"
+#include "exec/sweep.hpp"
 #include "io/table_writer.hpp"
 #include "model/power_budget.hpp"
 #include "util/cli.hpp"
@@ -33,27 +38,35 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto max_side = static_cast<std::uint32_t>(cli.get_int(
       "max-side", full_scale_requested() ? 8 : 7));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+  const BatchEngine engine({.workers = workers});
   Timer timer;
 
   std::cout << "# E5 part 1: optimized worst-case metrics vs application "
-               "size/density (mesh + Crux, R-PBLA)\n\n";
+               "size/density (mesh + Crux, R-PBLA, "
+            << engine.worker_count() << " workers)\n\n";
+  SweepSpec apps_spec;
+  apps_spec.add_all_benchmarks()
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::InsertionLoss)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizer("rpbla")
+      .add_seed(seed);
+  apps_spec.budgets.push_back(budget);
+  const auto apps_results = engine.run(apps_spec);
+
   TableWriter apps({"application", "tasks", "edges", "grid", "best loss dB",
                     "best SNR dB"});
-  for (const auto& name : benchmark_names()) {
-    ExperimentSpec loss_spec;
-    loss_spec.benchmark = name;
-    loss_spec.goal = OptimizationGoal::InsertionLoss;
-    const auto loss_problem = make_experiment(loss_spec);
-    const auto loss_run = Engine(loss_problem).run("rpbla", budget, seed);
-    ExperimentSpec snr_spec = loss_spec;
-    snr_spec.goal = OptimizationGoal::Snr;
-    const auto snr_problem = make_experiment(snr_spec);
-    const auto snr_run = Engine(snr_problem).run("rpbla", budget, seed);
-    const auto& topo = loss_problem.network().topology();
-    apps.add_row({name, std::to_string(loss_problem.task_count()),
-                  std::to_string(loss_problem.cg().communication_count()),
-                  std::to_string(topo.rows()) + "x" +
-                      std::to_string(topo.cols()),
+  for (std::size_t w = 0; w < apps_spec.workloads.size(); ++w) {
+    const auto& workload = apps_spec.workloads[w];
+    const auto& loss_run =
+        apps_results[grid_index(apps_spec, w, 0, 0, 0, 0, 0)].run;
+    const auto& snr_run =
+        apps_results[grid_index(apps_spec, w, 0, 1, 0, 0, 0)].run;
+    const auto side = resolved_side(apps_spec, w, 0);
+    apps.add_row({workload.name, std::to_string(workload.cg.task_count()),
+                  std::to_string(workload.cg.communication_count()),
+                  std::to_string(side) + "x" + std::to_string(side),
                   format_fixed(loss_run.best_evaluation.worst_loss_db, 2),
                   format_fixed(snr_run.best_evaluation.worst_snr_db, 2)});
   }
@@ -64,28 +77,43 @@ int main(int argc, char** argv) {
   std::cout << "# E5 part 2: mesh-side sweep, full-occupancy random "
                "workload; random vs optimized mapping and laser budget "
                "(detector -20 dBm, ceiling 10 dBm, margin 1 dB)\n\n";
+  // One workload per side; the auto-sized mesh (side 0) fits each
+  // side*side-task workload exactly, giving the full-occupancy diagonal
+  // of the (workload x topology) grid without wasted cells.
+  const auto make_sweep_spec = [&](std::uint64_t evals) {
+    SweepSpec spec;
+    for (std::uint32_t side = 3; side <= max_side; ++side)
+      spec.add_workload(
+          std::to_string(side) + "x" + std::to_string(side),
+          random_cg({.tasks = static_cast<std::size_t>(side) * side,
+                     .avg_out_degree = 1.6,
+                     .min_bandwidth = 16,
+                     .max_bandwidth = 256,
+                     .seed = 42,
+                     .acyclic = true}));
+    spec.add_topology(TopologyKind::Mesh)
+        .add_goal(OptimizationGoal::InsertionLoss)
+        .add_seed(seed);
+    spec.add_budget(evals);
+    return spec;
+  };
+  // Random mapping baseline = a single-sample "search".
+  auto random_spec = make_sweep_spec(1);
+  random_spec.add_optimizer("rs");
+  auto optimized_spec = make_sweep_spec(budget.max_evaluations);
+  optimized_spec.add_optimizer("rpbla");
+  const auto random_results = engine.run(random_spec);
+  const auto optimized_results = engine.run(optimized_spec);
+
   TableWriter sweep({"mesh", "tasks", "random loss dB", "optimized loss dB",
                      "laser random dBm", "laser optimized dBm",
                      "feasible(random)", "feasible(optimized)"});
-  for (std::uint32_t side = 3; side <= max_side; ++side) {
-    auto cg = random_cg({.tasks = static_cast<std::size_t>(side) * side,
-                         .avg_out_degree = 1.6,
-                         .min_bandwidth = 16,
-                         .max_bandwidth = 256,
-                         .seed = 42,
-                         .acyclic = true});
-    auto network = make_network(TopologyKind::Mesh, side, "crux");
-    MappingProblem problem(std::move(cg), network,
-                           make_objective(OptimizationGoal::InsertionLoss));
-    const Engine engine(problem);
-    // Random mapping baseline = a single-sample "search".
-    OptimizerBudget one;
-    one.max_evaluations = 1;
-    const auto random_run = engine.run("rs", one, seed);
-    const auto optimized_run = engine.run("rpbla", budget, seed);
-    const double random_loss = random_run.best_evaluation.worst_loss_db;
+  for (std::size_t w = 0; w < random_spec.workloads.size(); ++w) {
+    const auto side = resolved_side(random_spec, w, 0);
+    const double random_loss =
+        random_results[w].run.best_evaluation.worst_loss_db;
     const double optimized_loss =
-        optimized_run.best_evaluation.worst_loss_db;
+        optimized_results[w].run.best_evaluation.worst_loss_db;
     const auto random_budget = compute_power_budget(random_loss, {});
     const auto optimized_budget = compute_power_budget(optimized_loss, {});
     sweep.add_row(

@@ -1,0 +1,111 @@
+#include "exec/batch_engine.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace phonoc {
+namespace {
+
+/// Problems shared by cells that differ only in optimizer/budget/seed.
+/// Built sequentially before the grid runs (network construction is the
+/// expensive, allocation-heavy part); immutable afterwards, so sharing
+/// across workers is safe.
+using ProblemKey = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+std::map<ProblemKey, std::shared_ptr<const MappingProblem>> build_problems(
+    const SweepSpec& spec, const std::vector<SweepCell>& cells) {
+  std::map<ProblemKey, std::shared_ptr<const MappingProblem>> problems;
+  // Networks are shared one level further: goals reuse the same network.
+  std::map<std::pair<std::uint32_t, std::size_t>,
+           std::shared_ptr<const NetworkModel>>
+      networks;
+  for (const auto& cell : cells) {
+    const ProblemKey key{cell.workload, cell.topology, cell.goal};
+    if (problems.count(key)) continue;
+    const auto side = resolved_side(spec, cell.workload, cell.topology);
+    auto& network = networks[{side, cell.topology}];
+    if (!network)
+      network = make_cell_network(spec, cell.workload, cell.topology);
+    problems.emplace(key, std::make_shared<const MappingProblem>(
+                              make_problem(spec, cell, network)));
+  }
+  return problems;
+}
+
+CellResult run_cell(const SweepSpec& spec, const SweepCell& cell,
+                    const MappingProblem& problem) {
+  Timer timer;
+  CellResult result;
+  result.cell = cell;
+  result.seed = spec.seeds[cell.seed];
+  result.run = Engine(problem).run(spec.optimizers[cell.optimizer],
+                                   spec.budgets[cell.budget], result.seed);
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(BatchOptions options)
+    : workers_(options.workers == 0 ? ThreadPool::default_worker_count()
+                                    : options.workers) {
+  require(workers_ <= ThreadPool::kMaxWorkers,
+          "BatchEngine: worker count " + std::to_string(workers_) +
+              " exceeds the sanity limit of " +
+              std::to_string(ThreadPool::kMaxWorkers));
+}
+
+std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
+  const auto cells = expand(spec);
+  const auto problems = build_problems(spec, cells);
+  std::vector<CellResult> results(cells.size());
+  log_info() << "BatchEngine: " << cells.size() << " cells on " << workers_
+             << " worker(s), " << problems.size() << " shared problem(s)";
+
+  const auto problem_of = [&](const SweepCell& cell) -> const MappingProblem& {
+    return *problems.at(ProblemKey{cell.workload, cell.topology, cell.goal});
+  };
+
+  if (workers_ <= 1 || cells.size() <= 1) {
+    for (const auto& cell : cells)
+      results[cell.index] = run_cell(spec, cell, problem_of(cell));
+    return results;
+  }
+
+  ThreadPool pool(std::min(workers_, cells.size()));
+  std::vector<std::future<void>> futures;
+  futures.reserve(cells.size());
+  for (const auto& cell : cells)
+    futures.push_back(pool.submit([&spec, &results, &problem_of, cell] {
+      // Each cell owns its Evaluator and RNG and writes only its slot:
+      // the outcome cannot depend on scheduling.
+      results[cell.index] = run_cell(spec, cell, problem_of(cell));
+    }));
+  try {
+    for (auto& future : futures) future.get();  // re-throws task exceptions
+  } catch (...) {
+    // Abort the batch: don't let the pool's graceful-drain destructor
+    // run the (possibly hours of) remaining cells first.
+    pool.cancel_pending();
+    throw;
+  }
+  return results;
+}
+
+std::vector<RunResult> BatchEngine::compare(
+    const MappingProblem& problem,
+    const std::vector<std::string>& optimizer_names,
+    const OptimizerBudget& budget, std::uint64_t seed) const {
+  const Engine engine(problem);
+  return engine.compare(optimizer_names, budget, seed, workers_);
+}
+
+}  // namespace phonoc

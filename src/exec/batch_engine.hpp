@@ -1,0 +1,58 @@
+#pragma once
+/// \file batch_engine.hpp
+/// \brief Parallel executor for sweep grids.
+///
+/// Determinism contract: for a spec whose budgets are evaluation counts
+/// (no wall-clock caps), the results are bit-identical to a sequential
+/// run regardless of worker count and scheduling order. Each cell owns
+/// its Evaluator and RNG (seeded from the spec's seed list alone), the
+/// shared problems are immutable after construction, and every cell
+/// writes only its own pre-allocated result slot. Only the timing fields
+/// (`seconds`, OptimizerResult::seconds) vary between runs.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "exec/sweep.hpp"
+
+namespace phonoc {
+
+struct BatchOptions {
+  /// Worker threads; 0 = ThreadPool::default_worker_count(), 1 = run
+  /// inline on the calling thread (no pool).
+  std::size_t workers = 0;
+};
+
+/// Outcome of one grid cell.
+struct CellResult {
+  SweepCell cell;
+  std::uint64_t seed = 0;  ///< the actual seed value (spec.seeds[cell.seed])
+  RunResult run;
+  double seconds = 0.0;    ///< wall time of this cell (informational)
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchOptions options = {});
+
+  /// Execute every cell of the expanded grid; results come back in grid
+  /// order (results[i].cell.index == i).
+  [[nodiscard]] std::vector<CellResult> run(const SweepSpec& spec) const;
+
+  /// Parallel analogue of Engine::compare: the paper's fair-comparison
+  /// protocol on one fixed problem, one run per optimizer name.
+  [[nodiscard]] std::vector<RunResult> compare(
+      const MappingProblem& problem,
+      const std::vector<std::string>& optimizer_names,
+      const OptimizerBudget& budget, std::uint64_t seed) const;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+
+ private:
+  std::size_t workers_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,156 @@
+#include "exec/sweep.hpp"
+
+#include <utility>
+
+#include "topology/mesh.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace phonoc {
+
+SweepSpec& SweepSpec::add_benchmark(const std::string& name) {
+  workloads.push_back({name, make_benchmark(name)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_all_benchmarks() {
+  for (const auto& name : benchmark_names()) add_benchmark(name);
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_workload(std::string name, CommGraph cg) {
+  workloads.push_back({std::move(name), std::move(cg)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_topology(TopologyKind kind, std::uint32_t side) {
+  topologies.push_back({kind, side});
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_goal(OptimizationGoal goal) {
+  goals.push_back(goal);
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_optimizer(const std::string& name) {
+  optimizers.push_back(name);
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_optimizers(const std::vector<std::string>& names) {
+  optimizers.insert(optimizers.end(), names.begin(), names.end());
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_budget(std::uint64_t max_evaluations,
+                                 double max_seconds) {
+  OptimizerBudget budget;
+  budget.max_evaluations = max_evaluations;
+  budget.max_seconds = max_seconds;
+  budgets.push_back(budget);
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_seed(std::uint64_t seed) {
+  seeds.push_back(seed);
+  return *this;
+}
+
+SweepSpec& SweepSpec::add_seed_range(std::uint64_t first, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    seeds.push_back(first + static_cast<std::uint64_t>(i));
+  return *this;
+}
+
+std::size_t cell_count(const SweepSpec& spec) {
+  return spec.workloads.size() * spec.topologies.size() * spec.goals.size() *
+         spec.optimizers.size() * spec.budgets.size() * spec.seeds.size();
+}
+
+std::vector<SweepCell> expand(const SweepSpec& spec) {
+  std::vector<SweepCell> cells;
+  cells.reserve(cell_count(spec));
+  std::size_t index = 0;
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w)
+    for (std::size_t t = 0; t < spec.topologies.size(); ++t)
+      for (std::size_t g = 0; g < spec.goals.size(); ++g)
+        for (std::size_t o = 0; o < spec.optimizers.size(); ++o)
+          for (std::size_t b = 0; b < spec.budgets.size(); ++b)
+            for (std::size_t s = 0; s < spec.seeds.size(); ++s)
+              cells.push_back({index++, w, t, g, o, b, s});
+  return cells;
+}
+
+std::size_t grid_index(const SweepSpec& spec, std::size_t workload,
+                       std::size_t topology, std::size_t goal,
+                       std::size_t optimizer, std::size_t budget,
+                       std::size_t seed) {
+  require(workload < spec.workloads.size() &&
+              topology < spec.topologies.size() && goal < spec.goals.size() &&
+              optimizer < spec.optimizers.size() &&
+              budget < spec.budgets.size() && seed < spec.seeds.size(),
+          "grid_index: coordinate out of range");
+  return ((((workload * spec.topologies.size() + topology) *
+                spec.goals.size() +
+            goal) *
+               spec.optimizers.size() +
+           optimizer) *
+              spec.budgets.size() +
+          budget) *
+             spec.seeds.size() +
+         seed;
+}
+
+std::uint32_t resolved_side(const SweepSpec& spec, std::size_t workload,
+                            std::size_t topology) {
+  const auto& topo = spec.topologies.at(topology);
+  if (topo.side != 0) return topo.side;
+  return square_side_for(spec.workloads.at(workload).cg.task_count());
+}
+
+std::shared_ptr<const NetworkModel> make_cell_network(const SweepSpec& spec,
+                                                      std::size_t workload,
+                                                      std::size_t topology) {
+  return make_network(spec.topologies.at(topology).kind,
+                      resolved_side(spec, workload, topology), spec.router,
+                      spec.tile_pitch_mm, spec.parameters,
+                      spec.model_options);
+}
+
+MappingProblem make_problem(const SweepSpec& spec, const SweepCell& cell,
+                            std::shared_ptr<const NetworkModel> network) {
+  if (!network)
+    network = make_cell_network(spec, cell.workload, cell.topology);
+  return MappingProblem(spec.workloads.at(cell.workload).cg,
+                        std::move(network),
+                        make_objective(spec.goals.at(cell.goal)));
+}
+
+std::string budget_label(const OptimizerBudget& budget) {
+  if (budget.max_seconds > 0.0 && budget.max_evaluations == 0)
+    return format_fixed(budget.max_seconds, 2) + "s";
+  auto label = std::to_string(budget.max_evaluations) + "ev";
+  if (budget.max_seconds > 0.0)
+    label += "/" + format_fixed(budget.max_seconds, 2) + "s";
+  return label;
+}
+
+std::string topology_label(const SweepSpec& spec, std::size_t workload,
+                           std::size_t topology) {
+  const auto side = resolved_side(spec, workload, topology);
+  return to_string(spec.topologies.at(topology).kind) + " " +
+         std::to_string(side) + "x" + std::to_string(side);
+}
+
+std::string cell_label(const SweepSpec& spec, const SweepCell& cell) {
+  return spec.workloads.at(cell.workload).name + " | " +
+         topology_label(spec, cell.workload, cell.topology) + " | " +
+         to_string(spec.goals.at(cell.goal)) + " | " +
+         spec.optimizers.at(cell.optimizer) + " | " +
+         budget_label(spec.budgets.at(cell.budget)) + " | seed " +
+         std::to_string(spec.seeds.at(cell.seed));
+}
+
+}  // namespace phonoc

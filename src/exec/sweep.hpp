@@ -1,0 +1,121 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Declarative design-space sweep specification.
+///
+/// A SweepSpec lists values along six dimensions — CG workloads,
+/// topologies, objectives, optimizers, budgets, seeds — and expands into
+/// the cartesian task grid that BatchEngine executes. Expansion order is
+/// fixed (row-major with the workload outermost and the seed innermost),
+/// so a grid index is a stable, reproducible identity for a cell
+/// regardless of how many workers later execute it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/experiment.hpp"
+#include "graph/comm_graph.hpp"
+#include "mapping/objective.hpp"
+#include "mapping/optimizer.hpp"
+#include "photonics/parameters.hpp"
+
+namespace phonoc {
+
+/// One application along the workload dimension.
+struct SweepWorkload {
+  std::string name;
+  CommGraph cg;
+};
+
+/// One point along the topology dimension.
+struct SweepTopology {
+  TopologyKind kind = TopologyKind::Mesh;
+  /// Grid side; 0 = smallest square fitting the workload's task count
+  /// (the paper's sizing rule; exact task counts give full occupancy).
+  std::uint32_t side = 0;
+};
+
+/// Declarative sweep: the cartesian product of the six dimension lists.
+/// An empty dimension makes the grid empty (cell_count() == 0).
+struct SweepSpec {
+  std::vector<SweepWorkload> workloads;
+  std::vector<SweepTopology> topologies;
+  std::vector<OptimizationGoal> goals;
+  std::vector<std::string> optimizers;
+  std::vector<OptimizerBudget> budgets;
+  std::vector<std::uint64_t> seeds;
+
+  /// Architecture knobs shared by every cell (not swept).
+  std::string router = "crux";
+  double tile_pitch_mm = 2.5;
+  PhysicalParameters parameters = PhysicalParameters::paper_defaults();
+  NetworkModelOptions model_options = {};
+
+  // Builder-style helpers so specs read declaratively at call sites.
+  SweepSpec& add_benchmark(const std::string& name);
+  SweepSpec& add_all_benchmarks();
+  SweepSpec& add_workload(std::string name, CommGraph cg);
+  SweepSpec& add_topology(TopologyKind kind, std::uint32_t side = 0);
+  SweepSpec& add_goal(OptimizationGoal goal);
+  SweepSpec& add_optimizer(const std::string& name);
+  SweepSpec& add_optimizers(const std::vector<std::string>& names);
+  SweepSpec& add_budget(std::uint64_t max_evaluations,
+                        double max_seconds = 0.0);
+  SweepSpec& add_seed(std::uint64_t seed);
+  /// Seeds first, first+1, ..., first+count-1.
+  SweepSpec& add_seed_range(std::uint64_t first, std::size_t count);
+};
+
+/// Coordinates of one grid cell: indices into the spec's dimension lists
+/// plus the cell's row-major position.
+struct SweepCell {
+  std::size_t index = 0;
+  std::size_t workload = 0;
+  std::size_t topology = 0;
+  std::size_t goal = 0;
+  std::size_t optimizer = 0;
+  std::size_t budget = 0;
+  std::size_t seed = 0;
+};
+
+/// Product of the dimension sizes (0 when any dimension is empty).
+[[nodiscard]] std::size_t cell_count(const SweepSpec& spec);
+
+/// Expand the full grid in deterministic row-major order: workload
+/// outermost, then topology, goal, optimizer, budget, seed innermost.
+[[nodiscard]] std::vector<SweepCell> expand(const SweepSpec& spec);
+
+/// Row-major index of a coordinate tuple (inverse of expand()'s order).
+[[nodiscard]] std::size_t grid_index(const SweepSpec& spec,
+                                     std::size_t workload,
+                                     std::size_t topology, std::size_t goal,
+                                     std::size_t optimizer,
+                                     std::size_t budget, std::size_t seed);
+
+/// Resolved grid side for a (workload, topology) pair: the explicit side,
+/// or square_side_for() of the workload's task count (paper sizing rule).
+[[nodiscard]] std::uint32_t resolved_side(const SweepSpec& spec,
+                                          std::size_t workload,
+                                          std::size_t topology);
+
+/// Build the network of a (workload, topology) coordinate.
+[[nodiscard]] std::shared_ptr<const NetworkModel> make_cell_network(
+    const SweepSpec& spec, std::size_t workload, std::size_t topology);
+
+/// Build the mapping problem of one cell. Pass a network built by
+/// make_cell_network() to share it across cells (BatchEngine does);
+/// nullptr builds a fresh one.
+[[nodiscard]] MappingProblem make_problem(
+    const SweepSpec& spec, const SweepCell& cell,
+    std::shared_ptr<const NetworkModel> network = nullptr);
+
+/// Human-readable labels used by reports and CSV output.
+[[nodiscard]] std::string budget_label(const OptimizerBudget& budget);
+[[nodiscard]] std::string topology_label(const SweepSpec& spec,
+                                         std::size_t workload,
+                                         std::size_t topology);
+[[nodiscard]] std::string cell_label(const SweepSpec& spec,
+                                     const SweepCell& cell);
+
+}  // namespace phonoc

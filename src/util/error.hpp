@@ -40,6 +40,13 @@ class ModelError : public Error {
   explicit ModelError(const std::string& what) : Error(what) {}
 };
 
+/// The parallel execution subsystem was misused (e.g. work submitted to
+/// a thread pool that has already shut down).
+class ExecError : public Error {
+ public:
+  explicit ExecError(const std::string& what) : Error(what) {}
+};
+
 /// Throw InvalidArgument with `message` unless `condition` holds.
 void require(bool condition, const std::string& message);
 

@@ -1,11 +1,12 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace phonoc {
 
 namespace {
-LogLevel g_level = LogLevel::Warning;
+std::atomic<LogLevel> g_level{LogLevel::Warning};
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -19,13 +20,20 @@ const char* level_tag(LogLevel level) noexcept {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   if (level == LogLevel::Off) return;
-  std::cerr << "[phonoc " << level_tag(level) << "] " << message << '\n';
+  // One insertion per line so concurrent worker-thread logs cannot
+  // interleave mid-line.
+  std::cerr << "[phonoc " + std::string(level_tag(level)) + "] " + message +
+                   '\n';
 }
 
 }  // namespace phonoc

@@ -10,8 +10,9 @@ namespace phonoc {
 
 enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
 
-/// Set / query the global log threshold (not thread-safe by design: the
-/// level is configured once at startup by the hosting binary).
+/// Set / query the global log threshold. The threshold is an atomic:
+/// worker threads of the exec subsystem may log while the hosting
+/// binary adjusts the level.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -86,6 +87,13 @@ std::string format_fixed(double value, int digits) {
   std::ostringstream out;
   out.precision(digits);
   out << std::fixed << value;
+  return out.str();
+}
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
   return out.str();
 }
 

@@ -31,4 +31,7 @@ namespace phonoc {
 /// Format a double with fixed precision (reporting convenience).
 [[nodiscard]] std::string format_fixed(double value, int digits);
 
+/// Round-trippable double formatting (max_digits10) for CSV output.
+[[nodiscard]] std::string format_double(double value);
+
 }  // namespace phonoc

@@ -1,0 +1,315 @@
+// Tests of the parallel batch-exploration subsystem: thread pool
+// semantics, sweep grid expansion, aggregation, and — the load-bearing
+// property — bit-identical results across worker counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "exec/aggregate.hpp"
+#include "exec/batch_engine.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/error.hpp"
+#include "workloads/generator.hpp"
+
+namespace phonoc {
+namespace {
+
+// --- thread pool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsTravelThroughTheFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw InvalidArgument("boom"); });
+  EXPECT_THROW((void)future.get(), InvalidArgument);
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsTheQueue) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i)
+      (void)pool.submit([&executed] { ++executed; });
+  }  // destructor: every submitted task still runs
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), ExecError);
+}
+
+TEST(ThreadPool, CancelPendingBreaksQueuedPromisesButFinishesInFlight) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return 1;
+  });
+  // Only cancel once the blocker is in flight, so it is not discarded.
+  while (!started.load()) std::this_thread::yield();
+  std::vector<std::future<int>> queued;
+  for (int i = 0; i < 8; ++i) queued.push_back(pool.submit([] { return 2; }));
+  pool.cancel_pending();
+  release.store(true);
+  EXPECT_EQ(blocker.get(), 1);  // in-flight task still completes
+  for (auto& future : queued)
+    EXPECT_THROW((void)future.get(), std::future_error);
+}
+
+TEST(ThreadPool, WaitIdleObservesAnEmptyQueue) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 50; ++i) (void)pool.submit([&executed] { ++executed; });
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), 50);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+// --- sweep grid expansion --------------------------------------------------
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.add_workload("w0", pipeline_cg(4))
+      .add_workload("w1", pipeline_cg(6))
+      .add_topology(TopologyKind::Mesh)
+      .add_topology(TopologyKind::Torus, 3)
+      .add_goal(OptimizationGoal::InsertionLoss)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(50)
+      .add_seed_range(1, 3);
+  return spec;
+}
+
+TEST(SweepExpansion, EmptyDimensionMeansEmptyGrid) {
+  SweepSpec spec = tiny_spec();
+  spec.optimizers.clear();
+  EXPECT_EQ(cell_count(spec), 0u);
+  EXPECT_TRUE(expand(spec).empty());
+  EXPECT_TRUE(BatchEngine({.workers = 2}).run(spec).empty());
+}
+
+TEST(SweepExpansion, SingleCellGrid) {
+  SweepSpec spec;
+  spec.add_workload("w", pipeline_cg(4))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizer("rs")
+      .add_budget(10)
+      .add_seed(7);
+  EXPECT_EQ(cell_count(spec), 1u);
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].index, 0u);
+  EXPECT_EQ(spec.seeds[cells[0].seed], 7u);
+}
+
+TEST(SweepExpansion, CartesianCountAndRowMajorOrder) {
+  const auto spec = tiny_spec();
+  EXPECT_EQ(cell_count(spec), 2u * 2u * 1u * 2u * 1u * 3u);
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), cell_count(spec));
+  std::set<std::size_t> indices;
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.index, grid_index(spec, cell.workload, cell.topology,
+                                     cell.goal, cell.optimizer, cell.budget,
+                                     cell.seed));
+    indices.insert(cell.index);
+  }
+  EXPECT_EQ(indices.size(), cells.size());  // a bijection onto 0..N-1
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), cells.size() - 1);
+  // The seed is the innermost (fastest-varying) dimension.
+  EXPECT_EQ(cells[0].seed, 0u);
+  EXPECT_EQ(cells[1].seed, 1u);
+  EXPECT_EQ(cells[2].seed, 2u);
+  EXPECT_EQ(cells[3].seed, 0u);
+  EXPECT_EQ(cells[3].optimizer, 1u);
+  // The workload is outermost.
+  EXPECT_EQ(cells.front().workload, 0u);
+  EXPECT_EQ(cells.back().workload, 1u);
+}
+
+TEST(SweepExpansion, GridIndexRejectsOutOfRangeCoordinates) {
+  const auto spec = tiny_spec();
+  EXPECT_THROW((void)grid_index(spec, 2, 0, 0, 0, 0, 0), InvalidArgument);
+  EXPECT_THROW((void)grid_index(spec, 0, 0, 1, 0, 0, 0), InvalidArgument);
+}
+
+TEST(SweepExpansion, AutoSideFitsTheWorkload) {
+  const auto spec = tiny_spec();
+  // w0 has 4 tasks -> 2x2; w1 has 6 tasks -> 3x3; explicit side wins.
+  EXPECT_EQ(resolved_side(spec, 0, 0), 2u);
+  EXPECT_EQ(resolved_side(spec, 1, 0), 3u);
+  EXPECT_EQ(resolved_side(spec, 0, 1), 3u);
+  const auto problem = make_problem(spec, expand(spec)[0]);
+  EXPECT_EQ(problem.tile_count(), 4u);
+  EXPECT_EQ(problem.task_count(), 4u);
+}
+
+// --- aggregation -----------------------------------------------------------
+
+TEST(Aggregate, CollapsesSeedsIntoOneCell) {
+  const auto spec = tiny_spec();
+  const auto results = BatchEngine({.workers = 1}).run(spec);
+  const auto report = SweepReport::build(spec, results);
+  // Seed dimension (3 values) collapsed: 24 runs -> 8 aggregate cells.
+  EXPECT_EQ(report.run_count, results.size());
+  EXPECT_EQ(report.cells.size(), results.size() / spec.seeds.size());
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.best_fitness.count(), spec.seeds.size());
+    EXPECT_GE(cell.best_fitness.max(), cell.best_fitness.mean());
+    EXPECT_LE(cell.worst_loss_db.max(), 0.0);  // loss in dB is <= 0
+    EXPECT_EQ(cell.evaluations.mean(), 50.0);  // budget is exact for rs
+  }
+  EXPECT_EQ(report.to_table().row_count(), report.cells.size());
+}
+
+TEST(Aggregate, MergeOfShardsEqualsTheWholeGrid) {
+  const auto spec = tiny_spec();
+  const auto results = BatchEngine({.workers = 1}).run(spec);
+  // Shard by parity of the grid index, aggregate separately, merge.
+  std::vector<CellResult> even, odd;
+  for (const auto& result : results)
+    (result.cell.index % 2 == 0 ? even : odd).push_back(result);
+  auto merged = SweepReport::build(spec, even);
+  merged.merge(SweepReport::build(spec, odd));
+  const auto whole = SweepReport::build(spec, results);
+  ASSERT_EQ(merged.cells.size(), whole.cells.size());
+  EXPECT_EQ(merged.run_count, whole.run_count);
+  for (const auto& want : whole.cells) {
+    const AggregateCell* got = nullptr;
+    for (const auto& cell : merged.cells)
+      if (cell.workload == want.workload && cell.topology == want.topology &&
+          cell.goal == want.goal && cell.optimizer == want.optimizer &&
+          cell.budget == want.budget)
+        got = &cell;
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->best_fitness.count(), want.best_fitness.count());
+    EXPECT_NEAR(got->best_fitness.mean(), want.best_fitness.mean(), 1e-12);
+    EXPECT_NEAR(got->best_fitness.stddev(), want.best_fitness.stddev(),
+                1e-9);
+    EXPECT_EQ(got->worst_loss_db.min(), want.worst_loss_db.min());
+    EXPECT_EQ(got->worst_loss_db.max(), want.worst_loss_db.max());
+  }
+}
+
+TEST(Aggregate, AddRejectsForeignCellsAndCsvHasHeaderAndRows) {
+  const auto spec = tiny_spec();
+  const auto results = BatchEngine({.workers = 1}).run(spec);
+  auto report = SweepReport::build(spec, results);
+  AggregateCell& cell = report.cells.front();
+  CellResult foreign = results.back();
+  EXPECT_THROW(cell.add(foreign), InvalidArgument);
+  std::ostringstream csv;
+  report.write_csv(csv);
+  std::size_t lines = 0;
+  std::string line;
+  std::istringstream in(csv.str());
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1 + report.cells.size());
+}
+
+// --- the determinism property ---------------------------------------------
+//
+// For random problems, BatchEngine with 1, 2 and 8 workers produces
+// bit-identical RunResults to sequential Engine::compare with the same
+// seeds. (Timing fields are the only allowed difference.)
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_TRUE(a.search.best == b.search.best);
+  EXPECT_EQ(a.search.best_fitness, b.search.best_fitness);  // bitwise
+  EXPECT_EQ(a.search.evaluations, b.search.evaluations);
+  EXPECT_EQ(a.search.iterations, b.search.iterations);
+  ASSERT_EQ(a.search.trace.size(), b.search.trace.size());
+  for (std::size_t i = 0; i < a.search.trace.size(); ++i) {
+    EXPECT_EQ(a.search.trace[i].evaluation, b.search.trace[i].evaluation);
+    EXPECT_EQ(a.search.trace[i].fitness, b.search.trace[i].fitness);
+  }
+  EXPECT_EQ(a.best_evaluation.worst_loss_db, b.best_evaluation.worst_loss_db);
+  EXPECT_EQ(a.best_evaluation.worst_snr_db, b.best_evaluation.worst_snr_db);
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, BatchEngineMatchesSequentialCompareBitForBit) {
+  const auto problem_seed = GetParam();
+  SweepSpec spec;
+  spec.add_workload("random", random_cg({.tasks = 9,
+                                         .avg_out_degree = 1.7,
+                                         .min_bandwidth = 8,
+                                         .max_bandwidth = 128,
+                                         .seed = problem_seed,
+                                         .acyclic = false}))
+      .add_topology(TopologyKind::Mesh, 4)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizers({"rs", "ga", "rpbla", "sa"})
+      .add_budget(400)
+      .add_seed(problem_seed)
+      .add_seed(problem_seed + 17);
+
+  // Sequential reference: the engine's fair-comparison protocol.
+  const auto problem = make_problem(spec, expand(spec)[0]);
+  const Engine engine(problem);
+  OptimizerBudget budget;
+  budget.max_evaluations = 400;
+  std::vector<std::vector<RunResult>> reference;  // [seed][optimizer]
+  for (const auto seed : spec.seeds)
+    reference.push_back(engine.compare(spec.optimizers, budget, seed));
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const auto results = BatchEngine({.workers = workers}).run(spec);
+    ASSERT_EQ(results.size(), spec.optimizers.size() * spec.seeds.size());
+    for (std::size_t o = 0; o < spec.optimizers.size(); ++o)
+      for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+        const auto& got =
+            results[grid_index(spec, 0, 0, 0, o, 0, s)];
+        EXPECT_EQ(got.seed, spec.seeds[s]);
+        expect_identical(got.run, reference[s][o]);
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, DeterminismSweep,
+                         ::testing::Values(3u, 29u, 404u));
+
+TEST(Determinism, ParallelCompareMatchesSequentialCompare) {
+  auto cg = random_cg({.tasks = 8, .avg_out_degree = 1.5, .seed = 5});
+  MappingProblem problem(std::move(cg),
+                         make_network(TopologyKind::Torus, 3, "crux"),
+                         make_objective(OptimizationGoal::InsertionLoss));
+  const Engine engine(problem);
+  OptimizerBudget budget;
+  budget.max_evaluations = 300;
+  const std::vector<std::string> names{"rs", "ga", "rpbla", "tabu"};
+  const auto sequential = engine.compare(names, budget, 99);
+  const auto pooled = engine.compare(names, budget, 99, 4);
+  const auto batch =
+      BatchEngine({.workers = 4}).compare(problem, names, budget, 99);
+  ASSERT_EQ(pooled.size(), sequential.size());
+  ASSERT_EQ(batch.size(), sequential.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    expect_identical(pooled[i], sequential[i]);
+    expect_identical(batch[i], sequential[i]);
+  }
+}
+
+}  // namespace
+}  // namespace phonoc
