@@ -1,21 +1,47 @@
 /// \file bench_eval_micro.cpp
 /// \brief P1 — google-benchmark microbenchmarks of the hot paths: the
 /// mapping evaluator (which the DSE calls tens of thousands of times),
-/// router-model derivation, and network-model construction.
+/// full vs delta (incremental) per-swap evaluation, router-model
+/// derivation, and network-model construction.
+///
+/// Before the benchmarks run, main() verifies that the full and the
+/// incremental evaluation paths agree bitwise over a random swap
+/// sequence on the large workload, then reports ns/step and the
+/// full/delta speedup measured with a plain timer.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/evaluator.hpp"
 #include "core/experiment.hpp"
 #include "model/evaluation.hpp"
+#include "model/incremental.hpp"
 #include "router/registry.hpp"
 #include "router/router_model.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 #include "workloads/benchmarks.hpp"
+#include "workloads/generator.hpp"
 
 namespace {
 
 using namespace phonoc;
+
+/// The large delta-vs-full workload: a dense random CG filling an
+/// 8x8 torus (64 tasks, ~190 edges — well past the >=64-edge bar).
+MappingProblem make_large_problem() {
+  auto cg = random_cg({.tasks = 64,
+                       .avg_out_degree = 3.0,
+                       .min_bandwidth = 8,
+                       .max_bandwidth = 256,
+                       .seed = 7,
+                       .acyclic = false});
+  return MappingProblem(std::move(cg),
+                        make_network(TopologyKind::Torus, 8, "crux"),
+                        make_objective(OptimizationGoal::Snr));
+}
 
 void BM_EvaluateMapping(benchmark::State& state,
                         const std::string& benchmark_name) {
@@ -92,6 +118,117 @@ void BM_NoiseContribution(benchmark::State& state) {
 }
 BENCHMARK(BM_NoiseContribution);
 
+// --- full vs delta evaluation per optimizer step ----------------------------
+
+void BM_FullEvalPerSwap(benchmark::State& state) {
+  const auto problem = make_large_problem();
+  Rng rng(3);
+  Mapping current =
+      Mapping::random(problem.task_count(), problem.tile_count(), rng);
+  for (auto _ : state) {
+    const auto a = static_cast<TileId>(rng.next_below(problem.tile_count()));
+    const auto b = static_cast<TileId>(rng.next_below(problem.tile_count()));
+    current.swap_tiles(a, b);
+    const auto result = evaluate_mapping(problem.network(), problem.cg(),
+                                         current.assignment());
+    benchmark::DoNotOptimize(result.worst_snr_db);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullEvalPerSwap)->Unit(benchmark::kMicrosecond);
+
+void BM_DeltaEvalPerSwap(benchmark::State& state) {
+  const auto problem = make_large_problem();
+  Rng rng(3);
+  const Mapping start =
+      Mapping::random(problem.task_count(), problem.tile_count(), rng);
+  IncrementalEvaluation kernel(problem.network(), problem.cg());
+  kernel.reset(start.assignment());
+  for (auto _ : state) {
+    const auto a = static_cast<TileId>(rng.next_below(problem.tile_count()));
+    const auto b = static_cast<TileId>(rng.next_below(problem.tile_count()));
+    kernel.propose_swap(a, b);
+    kernel.commit();
+    benchmark::DoNotOptimize(kernel.view().worst_snr_db);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeltaEvalPerSwap)->Unit(benchmark::kMicrosecond);
+
+/// Assert full/delta agreement (bitwise) over a random committed swap
+/// walk, then report ns/step and the measured speedup. Writes to stderr
+/// so machine-readable benchmark output (--benchmark_format=json) on
+/// stdout stays parseable.
+void report_full_vs_delta() {
+  const auto problem = make_large_problem();
+  const auto tiles = problem.tile_count();
+  std::fprintf(stderr,
+               "# full vs delta evaluation, dense CG on 8x8 torus: %zu "
+               "tasks, %zu edges\n",
+               problem.task_count(), problem.cg().communication_count());
+
+  Rng rng(11);
+  Mapping current = Mapping::random(problem.task_count(), tiles, rng);
+  IncrementalEvaluation kernel(problem.network(), problem.cg());
+  kernel.reset(current.assignment());
+  for (int step = 0; step < 200; ++step) {
+    const auto a = static_cast<TileId>(rng.next_below(tiles));
+    const auto b = static_cast<TileId>(rng.next_below(tiles));
+    current.swap_tiles(a, b);
+    kernel.propose_swap(a, b);
+    kernel.commit();
+    const auto full =
+        evaluate_mapping(problem.network(), problem.cg(),
+                         current.assignment());
+    const auto delta = kernel.result(false);
+    if (full.worst_loss_db != delta.worst_loss_db ||
+        full.worst_snr_db != delta.worst_snr_db) {
+      std::fprintf(stderr,
+                   "FATAL: full and delta evaluation disagree at step %d\n",
+                   step);
+      std::exit(1);
+    }
+  }
+  std::fprintf(stderr,
+               "# agreement: 200 random swaps, full == delta bitwise\n");
+
+  // Time both paths over the SAME swap sequence (identical RNG stream
+  // from identical start state) so the speedup compares like for like.
+  const int moves = 400;
+  Rng delta_rng = rng;
+  const Mapping timing_start = current;
+  Timer full_timer;
+  for (int step = 0; step < moves; ++step) {
+    const auto a = static_cast<TileId>(rng.next_below(tiles));
+    const auto b = static_cast<TileId>(rng.next_below(tiles));
+    current.swap_tiles(a, b);
+    const auto result = evaluate_mapping(problem.network(), problem.cg(),
+                                         current.assignment());
+    benchmark::DoNotOptimize(result.worst_snr_db);
+  }
+  const double full_ns = full_timer.elapsed_seconds() * 1e9 / moves;
+  kernel.reset(timing_start.assignment());
+  Timer delta_timer;
+  for (int step = 0; step < moves; ++step) {
+    const auto a = static_cast<TileId>(delta_rng.next_below(tiles));
+    const auto b = static_cast<TileId>(delta_rng.next_below(tiles));
+    kernel.propose_swap(a, b);
+    kernel.commit();
+    benchmark::DoNotOptimize(kernel.view().worst_snr_db);
+  }
+  const double delta_ns = delta_timer.elapsed_seconds() * 1e9 / moves;
+  std::fprintf(stderr,
+               "# full:  %12.0f ns/step\n# delta: %12.0f ns/step\n"
+               "# speedup: %.1fx\n\n",
+               full_ns, delta_ns, full_ns / delta_ns);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  report_full_vs_delta();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

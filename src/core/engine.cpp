@@ -11,7 +11,9 @@
 
 namespace phonoc {
 
-Engine::Engine(const MappingProblem& problem) : problem_(problem) {}
+Engine::Engine(const MappingProblem& problem,
+               EvaluatorOptions evaluator_options)
+    : problem_(problem), evaluator_options_(evaluator_options) {}
 
 RunResult Engine::run(const std::string& optimizer_name,
                       const OptimizerBudget& budget,
@@ -34,7 +36,7 @@ RunResult Engine::run(const std::string& optimizer_name,
 RunResult Engine::run(const MappingOptimizer& optimizer,
                       const OptimizerBudget& budget,
                       std::uint64_t seed) const {
-  Evaluator evaluator(problem_);
+  Evaluator evaluator(problem_, evaluator_options_);
   RunResult result;
   result.algorithm = optimizer.name();
   result.search = optimizer.optimize(evaluator, problem_.task_count(),

@@ -23,7 +23,11 @@ struct RunResult {
 
 class Engine {
  public:
-  explicit Engine(const MappingProblem& problem);
+  /// `evaluator_options` configure the per-run Evaluators (memo capacity,
+  /// incremental move path). Neither option can change a run's outcome —
+  /// only its physical cost (see core/evaluator.hpp).
+  explicit Engine(const MappingProblem& problem,
+                  EvaluatorOptions evaluator_options = {});
 
   /// Run a registered optimizer by name ("greedy" is constructed from
   /// the problem's CG and topology).
@@ -52,6 +56,7 @@ class Engine {
 
  private:
   const MappingProblem& problem_;
+  EvaluatorOptions evaluator_options_;
 };
 
 }  // namespace phonoc

@@ -1,25 +1,139 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
+
+#include "util/error.hpp"
+
 namespace phonoc {
 
-Evaluator::Evaluator(const MappingProblem& problem)
-    : problem_(problem), needs_detail_(problem.objective().needs_detail()) {}
+Evaluator::Evaluator(const MappingProblem& problem, EvaluatorOptions options)
+    : problem_(problem),
+      options_(options),
+      needs_detail_(problem.objective().needs_detail()) {}
+
+EvaluationResult Evaluator::run_evaluation(const Mapping& mapping,
+                                           bool detailed) const {
+  return evaluate_mapping(problem_.network(), problem_.cg(),
+                          mapping.assignment(), detailed);
+}
+
+const double* Evaluator::cache_lookup(const Mapping& mapping,
+                                      std::uint64_t hash) {
+  const auto it = cache_index_.find(hash);
+  if (it == cache_index_.end()) return nullptr;
+  const auto assignment = mapping.assignment();
+  for (const auto& node : it->second) {
+    if (!std::equal(node->key.begin(), node->key.end(), assignment.begin(),
+                    assignment.end()))
+      continue;
+    ++cache_hits_;
+    cache_order_.splice(cache_order_.begin(), cache_order_, node);
+    return &node->fitness;
+  }
+  return nullptr;
+}
+
+void Evaluator::cache_insert(const Mapping& mapping, std::uint64_t hash,
+                             double fitness) {
+  const auto assignment = mapping.assignment();
+  cache_order_.emplace_front(CacheNode{
+      hash, std::vector<TileId>(assignment.begin(), assignment.end()),
+      fitness});
+  cache_index_[hash].push_back(cache_order_.begin());
+  if (cache_order_.size() <= options_.cache_capacity) return;
+  const auto victim = std::prev(cache_order_.end());
+  auto& bucket = cache_index_[victim->hash];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
+  if (bucket.empty()) cache_index_.erase(victim->hash);
+  cache_order_.pop_back();
+}
 
 double Evaluator::evaluate(const Mapping& mapping) {
   ++count_;
-  const auto result = evaluate_mapping(problem_.network(), problem_.cg(),
-                                       mapping.assignment(), needs_detail_);
-  return problem_.objective().fitness(result);
+  const bool memoize = options_.cache_capacity > 0;
+  const std::uint64_t hash = memoize ? mapping.hash() : 0;
+  if (memoize) {
+    if (const double* cached = cache_lookup(mapping, hash)) return *cached;
+  }
+  const auto result = run_evaluation(mapping, needs_detail_);
+  ++physical_count_;
+  const double fitness = problem_.objective().fitness(result);
+  if (memoize) cache_insert(mapping, hash, fitness);
+  return fitness;
+}
+
+bool Evaluator::kernel_matches_pre_swap(const Mapping& after, TileId a,
+                                        TileId b) const {
+  if (!kernel_ || !kernel_->has_state() || kernel_->pending()) return false;
+  const auto base = kernel_->assignment();
+  const auto target = after.assignment();
+  if (base.size() != target.size()) return false;
+  for (std::size_t task = 0; task < target.size(); ++task) {
+    TileId expected = target[task];
+    if (expected == a)
+      expected = b;
+    else if (expected == b)
+      expected = a;
+    if (base[task] != expected) return false;
+  }
+  return true;
+}
+
+void Evaluator::sync_kernel_pre_swap(const Mapping& after, TileId a,
+                                     TileId b) {
+  if (!kernel_)
+    kernel_ = std::make_unique<IncrementalEvaluation>(problem_.network(),
+                                                      problem_.cg());
+  if (kernel_matches_pre_swap(after, a, b)) return;
+  // The optimizer re-based (restart, reheat, fresh start): rebuild the
+  // kernel on the pre-swap assignment so revert_move can restore it.
+  const auto target = after.assignment();
+  base_scratch_.assign(target.begin(), target.end());
+  for (auto& tile : base_scratch_) {
+    if (tile == a)
+      tile = b;
+    else if (tile == b)
+      tile = a;
+  }
+  kernel_->reset(base_scratch_);
+}
+
+double Evaluator::propose_swap(const Mapping& after, TileId a, TileId b) {
+  if (!options_.incremental)
+    return FitnessFunction::propose_swap(after, a, b);
+  sync_kernel_pre_swap(after, a, b);
+  kernel_->propose_swap(a, b);
+  ++count_;
+  return problem_.objective().fitness(kernel_->view());
+}
+
+void Evaluator::commit_move() {
+  if (kernel_ && kernel_->pending()) kernel_->commit();
+}
+
+void Evaluator::revert_move() {
+  if (kernel_ && kernel_->pending()) kernel_->revert();
+}
+
+void Evaluator::apply_move(const Mapping& after, TileId a, TileId b) {
+  if (!options_.incremental) return;  // whole-mapping path is state-free
+  if (!kernel_)
+    kernel_ = std::make_unique<IncrementalEvaluation>(problem_.network(),
+                                                      problem_.cg());
+  if (kernel_matches_pre_swap(after, a, b)) {
+    kernel_->propose_swap(a, b);
+    kernel_->commit();
+  } else {
+    kernel_->reset(after.assignment());
+  }
 }
 
 EvaluationResult Evaluator::evaluate_detailed(const Mapping& mapping) const {
-  return evaluate_mapping(problem_.network(), problem_.cg(),
-                          mapping.assignment(), /*detailed=*/true);
+  return run_evaluation(mapping, /*detailed=*/true);
 }
 
 EvaluationResult Evaluator::evaluate_raw(const Mapping& mapping) const {
-  return evaluate_mapping(problem_.network(), problem_.cg(),
-                          mapping.assignment(), /*detailed=*/false);
+  return run_evaluation(mapping, needs_detail_);
 }
 
 }  // namespace phonoc

@@ -1,22 +1,64 @@
 #pragma once
 /// \file evaluator.hpp
 /// \brief The Mapping Evaluator (paper Fig. 1, block 4): bridges the
-/// physical-layer evaluation and the optimizer's fitness interface,
-/// counting evaluations along the way.
+/// physical-layer evaluation and the optimizer's fitness interface.
+///
+/// The Evaluator implements both fitness paths:
+///  * the whole-mapping path (`evaluate`), backed by `evaluate_mapping`
+///    and an assignment-keyed LRU memo — RS and GA re-sample duplicate
+///    mappings at small problem sizes, and a cache hit skips the
+///    physical evaluation entirely;
+///  * the transactional move path (`propose_swap` / `commit_move` /
+///    `revert_move` / `apply_move`), backed by the incremental kernel
+///    (model/incremental.hpp) — SA, tabu and R-PBLA score two-tile
+///    swaps in O(touched edges x |E|) instead of O(|E|^2).
+///
+/// Counting contract: `evaluation_count` counts *logical* evaluations —
+/// one per `evaluate` or `propose_swap` call, whether it was served by
+/// the cache, the kernel, or a full computation. Budgets, traces and
+/// the exec subsystem's bit-identical determinism protocol observe
+/// logical counts only, so enabling the cache or the incremental path
+/// cannot change any optimizer's trajectory. `physical_evaluation_count`
+/// reports how many full `evaluate_mapping` runs actually happened.
 
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "core/problem.hpp"
 #include "mapping/optimizer.hpp"
+#include "model/incremental.hpp"
 
 namespace phonoc {
 
+struct EvaluatorOptions {
+  /// Capacity (entries) of the whole-mapping fitness memo; 0 disables
+  /// it. Keyed by the full assignment (hash-bucketed, equality-checked),
+  /// so a hit is always exact.
+  std::size_t cache_capacity = 1024;
+  /// Serve the move API with the incremental kernel; when false the
+  /// move API falls back to whole-mapping evaluation (A/B baseline).
+  bool incremental = true;
+};
+
 class Evaluator final : public FitnessFunction {
  public:
-  explicit Evaluator(const MappingProblem& problem);
+  explicit Evaluator(const MappingProblem& problem,
+                     EvaluatorOptions options = {});
 
   /// Fitness (higher = better) of a mapping under the problem objective.
   [[nodiscard]] double evaluate(const Mapping& mapping) override;
+
+  [[nodiscard]] bool supports_moves() const override {
+    return options_.incremental;
+  }
+  [[nodiscard]] double propose_swap(const Mapping& after, TileId a,
+                                    TileId b) override;
+  void commit_move() override;
+  void revert_move() override;
+  void apply_move(const Mapping& after, TileId a, TileId b) override;
 
   /// Full evaluation with per-edge detail (reporting; not counted
   /// against the fitness statistics).
@@ -25,21 +67,77 @@ class Evaluator final : public FitnessFunction {
 
   /// Both worst-case metrics of a mapping (convenience for sampling
   /// experiments that record loss and SNR simultaneously, like Fig. 3).
+  /// Runs with per-edge detail whenever the problem objective needs it,
+  /// so `objective().fitness(evaluate_raw(m))` is always well-formed.
   [[nodiscard]] EvaluationResult evaluate_raw(const Mapping& mapping) const;
 
+  /// Logical evaluations: one per evaluate/propose_swap call.
   [[nodiscard]] std::uint64_t evaluation_count() const noexcept {
     return count_;
+  }
+  /// Full evaluate_mapping runs performed by `evaluate` (cache misses).
+  [[nodiscard]] std::uint64_t physical_evaluation_count() const noexcept {
+    return physical_count_;
+  }
+  [[nodiscard]] std::uint64_t cache_hit_count() const noexcept {
+    return cache_hits_;
+  }
+  /// Full O(|E|^2) rebuilds of the incremental kernel (base changes).
+  [[nodiscard]] std::uint64_t kernel_rebuild_count() const noexcept {
+    return kernel_ ? kernel_->rebuild_count() : 0;
   }
   void reset_count() noexcept { count_ = 0; }
 
   [[nodiscard]] const MappingProblem& problem() const noexcept {
     return problem_;
   }
+  [[nodiscard]] const EvaluatorOptions& options() const noexcept {
+    return options_;
+  }
 
  private:
+  /// Single evaluation backend shared by every public entry point.
+  [[nodiscard]] EvaluationResult run_evaluation(const Mapping& mapping,
+                                                bool detailed) const;
+  /// True when the kernel's committed state equals `after` with the
+  /// (a, b) swap undone — i.e. the kernel sits on the caller's pre-move
+  /// mapping and can score the move incrementally.
+  [[nodiscard]] bool kernel_matches_pre_swap(const Mapping& after, TileId a,
+                                             TileId b) const;
+  /// Ensure the kernel holds the pre-swap base, rebuilding if the
+  /// optimizer re-based (restart, reheat, arbitrary re-assignment).
+  void sync_kernel_pre_swap(const Mapping& after, TileId a, TileId b);
+  [[nodiscard]] const double* cache_lookup(const Mapping& mapping,
+                                           std::uint64_t hash);
+  void cache_insert(const Mapping& mapping, std::uint64_t hash,
+                    double fitness);
+
   const MappingProblem& problem_;
+  EvaluatorOptions options_;
   bool needs_detail_;
   std::uint64_t count_ = 0;
+  std::uint64_t physical_count_ = 0;
+  std::uint64_t cache_hits_ = 0;
+
+  // --- whole-mapping LRU memo ------------------------------------------------
+  /// Each assignment key is stored exactly once (in its list node); the
+  /// index buckets list iterators by `assignment_hash`, and a hit is
+  /// confirmed with a full-key comparison, so collisions can never
+  /// return a wrong fitness.
+  struct CacheNode {
+    std::uint64_t hash;
+    std::vector<TileId> key;
+    double fitness;
+  };
+  /// Most-recent-first recency list.
+  std::list<CacheNode> cache_order_;
+  std::unordered_map<std::uint64_t,
+                     std::vector<decltype(cache_order_)::iterator>>
+      cache_index_;
+
+  // --- incremental move path -------------------------------------------------
+  std::unique_ptr<IncrementalEvaluation> kernel_;  ///< lazily constructed
+  std::vector<TileId> base_scratch_;
 };
 
 }  // namespace phonoc

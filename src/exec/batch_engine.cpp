@@ -41,13 +41,16 @@ std::map<ProblemKey, std::shared_ptr<const MappingProblem>> build_problems(
 }
 
 CellResult run_cell(const SweepSpec& spec, const SweepCell& cell,
-                    const MappingProblem& problem) {
+                    const MappingProblem& problem,
+                    const EvaluatorOptions& evaluator_options) {
   Timer timer;
   CellResult result;
   result.cell = cell;
   result.seed = spec.seeds[cell.seed];
-  result.run = Engine(problem).run(spec.optimizers[cell.optimizer],
-                                   spec.budgets[cell.budget], result.seed);
+  result.run =
+      Engine(problem, evaluator_options)
+          .run(spec.optimizers[cell.optimizer], spec.budgets[cell.budget],
+               result.seed);
   result.seconds = timer.elapsed_seconds();
   return result;
 }
@@ -56,7 +59,8 @@ CellResult run_cell(const SweepSpec& spec, const SweepCell& cell,
 
 BatchEngine::BatchEngine(BatchOptions options)
     : workers_(options.workers == 0 ? ThreadPool::default_worker_count()
-                                    : options.workers) {
+                                    : options.workers),
+      evaluator_options_(options.evaluator) {
   require(workers_ <= ThreadPool::kMaxWorkers,
           "BatchEngine: worker count " + std::to_string(workers_) +
               " exceeds the sanity limit of " +
@@ -76,7 +80,8 @@ std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
 
   if (workers_ <= 1 || cells.size() <= 1) {
     for (const auto& cell : cells)
-      results[cell.index] = run_cell(spec, cell, problem_of(cell));
+      results[cell.index] =
+          run_cell(spec, cell, problem_of(cell), evaluator_options_);
     return results;
   }
 
@@ -84,10 +89,12 @@ std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
   std::vector<std::future<void>> futures;
   futures.reserve(cells.size());
   for (const auto& cell : cells)
-    futures.push_back(pool.submit([&spec, &results, &problem_of, cell] {
-      // Each cell owns its Evaluator and RNG and writes only its slot:
-      // the outcome cannot depend on scheduling.
-      results[cell.index] = run_cell(spec, cell, problem_of(cell));
+    futures.push_back(pool.submit([this, &spec, &results, &problem_of, cell] {
+      // Each cell owns its Evaluator (and through it any incremental
+      // kernel or memo) and RNG and writes only its slot: the outcome
+      // cannot depend on scheduling.
+      results[cell.index] =
+          run_cell(spec, cell, problem_of(cell), evaluator_options_);
     }));
   try {
     for (auto& future : futures) future.get();  // re-throws task exceptions
@@ -104,7 +111,7 @@ std::vector<RunResult> BatchEngine::compare(
     const MappingProblem& problem,
     const std::vector<std::string>& optimizer_names,
     const OptimizerBudget& budget, std::uint64_t seed) const {
-  const Engine engine(problem);
+  const Engine engine(problem, evaluator_options_);
   return engine.compare(optimizer_names, budget, seed, workers_);
 }
 

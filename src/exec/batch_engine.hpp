@@ -24,6 +24,12 @@ struct BatchOptions {
   /// Worker threads; 0 = ThreadPool::default_worker_count(), 1 = run
   /// inline on the calling thread (no pool).
   std::size_t workers = 0;
+  /// Per-cell Evaluator configuration (memo capacity, incremental move
+  /// path). Each cell constructs its own Evaluator from these, so the
+  /// determinism contract is unaffected: both knobs change only the
+  /// physical evaluation cost, never logical evaluation counts or
+  /// fitness values (see core/evaluator.hpp).
+  EvaluatorOptions evaluator{};
 };
 
 /// Outcome of one grid cell.
@@ -53,6 +59,7 @@ class BatchEngine {
 
  private:
   std::size_t workers_;
+  EvaluatorOptions evaluator_options_;
 };
 
 }  // namespace phonoc

@@ -51,14 +51,14 @@ OptimizerResult SimulatedAnnealing::optimize(FitnessFunction& fitness,
       if (a == b) continue;
       // Swapping two empty tiles is a no-op; skip without evaluating.
       if (current.task_at(a) < 0 && current.task_at(b) < 0) continue;
-      current.swap_tiles(a, b);
-      const double moved = state.evaluate(current);
+      const double moved = state.propose_swap(current, a, b);
       const double delta = moved - current_fitness;
       if (delta >= 0.0 ||
           rng.next_double() < std::exp(delta / temperature)) {
-        current_fitness = moved;  // accept
+        state.commit_move();  // accept
+        current_fitness = moved;
       } else {
-        current.swap_tiles(a, b);  // reject: undo
+        state.revert_move(current, a, b);  // reject: undo
       }
     }
     temperature *= options_.cooling;

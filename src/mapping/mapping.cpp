@@ -3,8 +3,19 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace phonoc {
+
+std::uint64_t assignment_hash(std::span<const TileId> assignment) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL + assignment.size();
+  for (const auto tile : assignment) {
+    std::uint64_t state = h ^ (static_cast<std::uint64_t>(tile) +
+                               0xbf58476d1ce4e5b9ULL);
+    h = splitmix64(state);
+  }
+  return h;
+}
 
 Mapping::Mapping(std::vector<TileId> assignment, std::size_t tiles)
     : assignment_(std::move(assignment)), tile_to_task_(tiles, -1) {
@@ -47,6 +58,10 @@ TileId Mapping::tile_of(NodeId task) const {
 int Mapping::task_at(TileId tile) const {
   require(tile < tile_to_task_.size(), "Mapping::task_at: tile out of range");
   return tile_to_task_[tile];
+}
+
+std::uint64_t Mapping::hash() const noexcept {
+  return assignment_hash(assignment_);
 }
 
 void Mapping::swap_tiles(TileId a, TileId b) {

@@ -3,6 +3,7 @@
 /// \brief The mapping function Omega: C -> T (paper Eq. 5/6): every task
 /// on exactly one tile, every tile hosting at most one task.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,13 @@
 #include "util/rng.hpp"
 
 namespace phonoc {
+
+/// SplitMix64-mixed hash of a task->tile assignment. Position-sensitive
+/// (the same tile set in a different task order hashes differently).
+/// Collisions are possible — memoization callers must confirm with a
+/// full-assignment equality check before trusting a bucket.
+[[nodiscard]] std::uint64_t assignment_hash(
+    std::span<const TileId> assignment) noexcept;
 
 class Mapping {
  public:
@@ -52,6 +60,10 @@ class Mapping {
     return assignment_ == other.assignment_ &&
            tile_count() == other.tile_count();
   }
+
+  /// 64-bit hash of the assignment (see assignment_hash); the key the
+  /// evaluation memoization layer buckets by.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
 
  private:
   Mapping(std::vector<TileId> assignment, std::size_t tiles);

@@ -15,8 +15,8 @@ CompositeObjective::CompositeObjective(double loss_weight, double snr_weight)
           "CompositeObjective: weights must be non-negative, not both zero");
 }
 
-double CompositeObjective::fitness(const EvaluationResult& r) const {
-  return loss_weight_ * r.worst_loss_db + snr_weight_ * r.worst_snr_db;
+double CompositeObjective::fitness(const EvaluationView& v) const {
+  return loss_weight_ * v.worst_loss_db + snr_weight_ * v.worst_snr_db;
 }
 
 BandwidthWeightedLossObjective::BandwidthWeightedLossObjective(
@@ -29,13 +29,12 @@ BandwidthWeightedLossObjective::BandwidthWeightedLossObjective(
     weights_.push_back(e.bandwidth_mbps / total);
 }
 
-double BandwidthWeightedLossObjective::fitness(
-    const EvaluationResult& r) const {
-  require(r.edges.size() == weights_.size(),
+double BandwidthWeightedLossObjective::fitness(const EvaluationView& v) const {
+  require(v.edges.size() == weights_.size(),
           "BandwidthWeightedLossObjective: evaluation lacks per-edge detail");
   double sum = 0.0;
   for (std::size_t i = 0; i < weights_.size(); ++i)
-    sum += weights_[i] * r.edges[i].loss_db;
+    sum += weights_[i] * v.edges[i].loss_db;
   return sum;
 }
 

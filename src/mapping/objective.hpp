@@ -25,28 +25,37 @@ class Objective {
  public:
   virtual ~Objective() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Higher is better.
-  [[nodiscard]] virtual double fitness(const EvaluationResult& result) const = 0;
-  /// True when fitness() reads EvaluationResult::edges (the evaluator
-  /// must then run with detail enabled).
+  /// Higher is better. The view form is the primary interface so the
+  /// incremental evaluation kernel can fold the cached per-edge state
+  /// without materializing an EvaluationResult per move; both paths
+  /// run the same fold code, keeping fitness bit-identical.
+  [[nodiscard]] virtual double fitness(const EvaluationView& view) const = 0;
+  /// Convenience for whole-mapping evaluation results.
+  [[nodiscard]] double fitness(const EvaluationResult& r) const {
+    return fitness(EvaluationView{r.worst_loss_db, r.worst_snr_db, r.edges});
+  }
+  /// True when fitness() reads the per-edge detail (the evaluator must
+  /// then run with detail enabled).
   [[nodiscard]] virtual bool needs_detail() const { return false; }
 };
 
 /// Eq. (3): maximize the worst-case insertion loss (toward 0 dB).
 class WorstLossObjective final : public Objective {
  public:
+  using Objective::fitness;
   [[nodiscard]] std::string name() const override { return "worst_loss"; }
-  [[nodiscard]] double fitness(const EvaluationResult& r) const override {
-    return r.worst_loss_db;
+  [[nodiscard]] double fitness(const EvaluationView& v) const override {
+    return v.worst_loss_db;
   }
 };
 
 /// Eq. (4): maximize the worst-case SNR.
 class WorstSnrObjective final : public Objective {
  public:
+  using Objective::fitness;
   [[nodiscard]] std::string name() const override { return "worst_snr"; }
-  [[nodiscard]] double fitness(const EvaluationResult& r) const override {
-    return r.worst_snr_db;
+  [[nodiscard]] double fitness(const EvaluationView& v) const override {
+    return v.worst_snr_db;
   }
 };
 
@@ -54,10 +63,11 @@ class WorstSnrObjective final : public Objective {
 /// so a plain linear combination is meaningful).
 class CompositeObjective final : public Objective {
  public:
+  using Objective::fitness;
   /// fitness = loss_weight * worst_loss_db + snr_weight * worst_snr_db.
   CompositeObjective(double loss_weight, double snr_weight);
   [[nodiscard]] std::string name() const override { return "composite"; }
-  [[nodiscard]] double fitness(const EvaluationResult& r) const override;
+  [[nodiscard]] double fitness(const EvaluationView& v) const override;
 
  private:
   double loss_weight_;
@@ -65,15 +75,21 @@ class CompositeObjective final : public Objective {
 };
 
 /// Extension: maximize the bandwidth-weighted average of per-edge loss
-/// (heavier flows matter more). Needs per-edge detail.
+/// (heavier flows matter more). Needs per-edge detail. The weighted sum
+/// is re-folded over the (cached) per-edge values in edge order on
+/// every call rather than kept as a running delta-updated total: the
+/// ascending fold is what keeps incremental fitness bit-identical to a
+/// full re-evaluation, and it is O(|E|) against the evaluation's
+/// O(touched x |E|) noise work.
 class BandwidthWeightedLossObjective final : public Objective {
  public:
+  using Objective::fitness;
   explicit BandwidthWeightedLossObjective(const CommGraph& cg);
   [[nodiscard]] std::string name() const override {
     return "bandwidth_weighted_loss";
   }
   [[nodiscard]] bool needs_detail() const override { return true; }
-  [[nodiscard]] double fitness(const EvaluationResult& r) const override;
+  [[nodiscard]] double fitness(const EvaluationView& v) const override;
 
  private:
   std::vector<double> weights_;  ///< per-edge bandwidth / total

@@ -30,6 +30,30 @@ bool SearchState::exhausted() const {
 
 double SearchState::evaluate(const Mapping& mapping) {
   const double fitness = fitness_.evaluate(mapping);
+  record(mapping, fitness);
+  return fitness;
+}
+
+double SearchState::propose_swap(Mapping& current, TileId a, TileId b) {
+  current.swap_tiles(a, b);
+  const double fitness = fitness_.propose_swap(current, a, b);
+  record(current, fitness);
+  return fitness;
+}
+
+void SearchState::commit_move() { fitness_.commit_move(); }
+
+void SearchState::revert_move(Mapping& current, TileId a, TileId b) {
+  current.swap_tiles(a, b);
+  fitness_.revert_move();
+}
+
+void SearchState::apply_move(Mapping& current, TileId a, TileId b) {
+  current.swap_tiles(a, b);
+  fitness_.apply_move(current, a, b);
+}
+
+void SearchState::record(const Mapping& mapping, double fitness) {
   ++evals_;
   if (!has_best_ || fitness > best_fitness_) {
     has_best_ = true;
@@ -37,7 +61,6 @@ double SearchState::evaluate(const Mapping& mapping) {
     best_fitness_ = fitness;
     trace_.push_back(ImprovementEvent{evals_, fitness});
   }
-  return fitness;
 }
 
 const Mapping& SearchState::best() const {

@@ -21,10 +21,44 @@
 namespace phonoc {
 
 /// Fitness callback: higher is better. Implemented by core::Evaluator.
+///
+/// Beyond whole-mapping evaluation, the interface carries a transactional
+/// *move* API so neighborhood searches (SA / tabu / R-PBLA, whose move is
+/// a two-tile swap) can be scored incrementally: `propose_swap` evaluates
+/// the mapping that results from one swap, then exactly one of
+/// `commit_move` (keep it) or `revert_move` (restore the previous state)
+/// follows. `apply_move` adopts a swap whose fitness is already known
+/// without spending an evaluation. The default implementations fall back
+/// to `evaluate`, so state-free fitness functions need not override
+/// anything; implementations that answer `supports_moves() == true` may
+/// keep arbitrary internal state between calls. One proposal may be
+/// outstanding at a time. Every `propose_swap` counts as one *logical*
+/// evaluation, exactly like `evaluate` — budgets and determinism
+/// contracts observe logical evaluations, never the physical work done.
 class FitnessFunction {
  public:
   virtual ~FitnessFunction() = default;
   [[nodiscard]] virtual double evaluate(const Mapping& mapping) = 0;
+
+  /// True when propose/commit/revert are served by an incremental path.
+  [[nodiscard]] virtual bool supports_moves() const { return false; }
+  /// Fitness of `after`, which is the previous mapping with the (a, b)
+  /// tile swap already applied.
+  [[nodiscard]] virtual double propose_swap(const Mapping& after, TileId a,
+                                            TileId b) {
+    (void)a;
+    (void)b;
+    return evaluate(after);
+  }
+  virtual void commit_move() {}
+  virtual void revert_move() {}
+  /// Adopt the (a, b) swap (already applied in `after`) without counting
+  /// an evaluation; used when the move's fitness is already known.
+  virtual void apply_move(const Mapping& after, TileId a, TileId b) {
+    (void)after;
+    (void)a;
+    (void)b;
+  }
 };
 
 struct OptimizerBudget {
@@ -70,6 +104,19 @@ class SearchState {
   /// Evaluate a candidate, tracking the incumbent and the trace.
   double evaluate(const Mapping& mapping);
 
+  /// Move-based search steps. `propose_swap` applies the (a, b) tile
+  /// swap to `current`, scores it through the fitness function's move
+  /// API (one logical evaluation, incumbent-tracked like `evaluate`),
+  /// and leaves the swap applied; the caller then either commits or
+  /// reverts (which undoes the swap in `current`). `apply_move` adopts
+  /// a swap whose fitness is already known without spending an
+  /// evaluation — the optimizer protocols (tabu / R-PBLA) re-apply the
+  /// winning candidate this way, exactly as the whole-mapping code did.
+  double propose_swap(Mapping& current, TileId a, TileId b);
+  void commit_move();
+  void revert_move(Mapping& current, TileId a, TileId b);
+  void apply_move(Mapping& current, TileId a, TileId b);
+
   [[nodiscard]] bool has_best() const noexcept { return has_best_; }
   [[nodiscard]] const Mapping& best() const;
   [[nodiscard]] double best_fitness() const noexcept { return best_fitness_; }
@@ -79,6 +126,9 @@ class SearchState {
   [[nodiscard]] OptimizerResult finish(std::uint64_t iterations) const;
 
  private:
+  /// Count one logical evaluation and track the incumbent/trace.
+  void record(const Mapping& mapping, double fitness);
+
   FitnessFunction& fitness_;
   std::size_t tasks_;
   std::size_t tiles_;

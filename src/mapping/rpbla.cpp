@@ -40,9 +40,8 @@ OptimizerResult Rpbla::optimize(FitnessFunction& fitness,
         if (options_.skip_empty_pairs && current.task_at(a) < 0 &&
             current.task_at(b) < 0)
           continue;  // swapping two empty tiles changes nothing
-        current.swap_tiles(a, b);
-        const double moved = state.evaluate(current);
-        current.swap_tiles(a, b);  // undo
+        const double moved = state.propose_swap(current, a, b);
+        state.revert_move(current, a, b);  // undo
         if (moved > best_move_fitness) {
           best_move_fitness = moved;
           best_move = {a, b};
@@ -50,7 +49,9 @@ OptimizerResult Rpbla::optimize(FitnessFunction& fitness,
         }
       }
       if (found) {
-        current.swap_tiles(best_move.first, best_move.second);
+        // Fitness already known from the candidate scan: adopt the swap
+        // without spending an evaluation.
+        state.apply_move(current, best_move.first, best_move.second);
         current_fitness = best_move_fitness;
       } else {
         // No downhill move: local minimum. SearchState already recorded

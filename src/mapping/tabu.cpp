@@ -43,9 +43,8 @@ OptimizerResult TabuSearch::optimize(FitnessFunction& fitness,
       if (a == b) continue;
       if (a > b) std::swap(a, b);
       if (current.task_at(a) < 0 && current.task_at(b) < 0) continue;
-      current.swap_tiles(a, b);
-      const double moved = state.evaluate(current);
-      current.swap_tiles(a, b);
+      const double moved = state.propose_swap(current, a, b);
+      state.revert_move(current, a, b);
       const auto it = tabu_until.find({a, b});
       const bool is_tabu = it != tabu_until.end() && it->second > iteration;
       // Aspiration: a tabu move is admitted when it beats the incumbent.
@@ -57,7 +56,9 @@ OptimizerResult TabuSearch::optimize(FitnessFunction& fitness,
       }
     }
     if (found) {
-      current.swap_tiles(best_move.first, best_move.second);
+      // The winning candidate's fitness is already known: adopt the swap
+      // without spending an evaluation.
+      state.apply_move(current, best_move.first, best_move.second);
       tabu_until[best_move] = iteration + options_.tenure;
       stagnation = best_move_fitness > current_fitness ? 0 : stagnation + 1;
       current_fitness = best_move_fitness;

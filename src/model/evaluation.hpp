@@ -36,6 +36,17 @@ struct EvaluationResult {
   std::vector<EdgeMetrics> edges;
 };
 
+/// Non-owning view of an evaluated mapping. Objectives fold over this so
+/// both evaluation paths — the whole-mapping `evaluate_mapping` and the
+/// incremental kernel, which keeps its per-edge metrics alive across
+/// moves — feed the same fitness code without copying the edge vector.
+struct EvaluationView {
+  double worst_loss_db = 0.0;
+  double worst_snr_db = 0.0;
+  /// Per-edge detail; empty when the producer ran without detail.
+  std::span<const EdgeMetrics> edges;
+};
+
 /// Evaluate a mapping. `assignment[task] = tile`; the assignment must be
 /// injective with every tile in range (checked). `detailed` additionally
 /// returns per-edge metrics. A CG without edges yields worst_loss = 0

@@ -290,6 +290,31 @@ TEST_P(DeterminismSweep, BatchEngineMatchesSequentialCompareBitForBit) {
 INSTANTIATE_TEST_SUITE_P(RandomProblems, DeterminismSweep,
                          ::testing::Values(3u, 29u, 404u));
 
+TEST(Determinism, EvaluatorOptionsCannotChangeBatchResults) {
+  // The evaluation memo and the incremental move path only change the
+  // physical cost of a cell, never its outcome: a grid run with the
+  // memo disabled and the move API on the whole-mapping fallback is
+  // bit-identical to the default (LRU + incremental kernel) run.
+  SweepSpec spec;
+  spec.add_workload("random", random_cg({.tasks = 8,
+                                         .avg_out_degree = 1.6,
+                                         .seed = 12,
+                                         .acyclic = false}))
+      .add_topology(TopologyKind::Mesh, 3)
+      .add_goal(OptimizationGoal::InsertionLoss)
+      .add_optimizers({"rs", "sa", "tabu", "rpbla"})
+      .add_budget(300)
+      .add_seed(7);
+  const auto defaults = BatchEngine({.workers = 2}).run(spec);
+  const auto plain =
+      BatchEngine({.workers = 2,
+                   .evaluator = {.cache_capacity = 0, .incremental = false}})
+          .run(spec);
+  ASSERT_EQ(defaults.size(), plain.size());
+  for (std::size_t i = 0; i < defaults.size(); ++i)
+    expect_identical(defaults[i].run, plain[i].run);
+}
+
 TEST(Determinism, ParallelCompareMatchesSequentialCompare) {
   auto cg = random_cg({.tasks = 8, .avg_out_degree = 1.5, .seed = 5});
   MappingProblem problem(std::move(cg),

@@ -1,0 +1,397 @@
+// Property tests of the incremental (delta) evaluation layer: across
+// random CGs, mesh/ring/torus topologies and all four objectives, long
+// random propose/commit/revert swap sequences must stay bit-identical
+// (tolerance 0) to full `evaluate_mapping` re-evaluation — fitness and
+// per-edge metrics alike. Also covers the Evaluator's transactional
+// move API, the incremental-vs-whole-mapping equivalence of complete
+// optimizer runs, and the whole-mapping memo's counting contract
+// (cache hits must never change the evaluation counts budgets observe).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/evaluator.hpp"
+#include "core/experiment.hpp"
+#include "mapping/mapping.hpp"
+#include "mapping/objective.hpp"
+#include "model/incremental.hpp"
+#include "router/registry.hpp"
+#include "router/router_model.hpp"
+#include "routing/table_routing.hpp"
+#include "topology/ring.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/generator.hpp"
+
+namespace phonoc {
+namespace {
+
+std::shared_ptr<const NetworkModel> make_test_network(
+    const std::string& topology) {
+  if (topology == "ring") {
+    auto router = std::make_shared<const RouterModel>(
+        make_router_netlist("crux"), PhysicalParameters::paper_defaults());
+    const auto topo = build_ring(RingOptions{12, 2.5});
+    auto routing = std::make_shared<const TableRouting>(
+        TableRouting::shortest_paths(topo));
+    return std::make_shared<const NetworkModel>(topo, std::move(router),
+                                                std::move(routing),
+                                                NetworkModelOptions{});
+  }
+  const auto kind =
+      topology == "torus" ? TopologyKind::Torus : TopologyKind::Mesh;
+  return make_network(kind, 4, "crux");
+}
+
+std::shared_ptr<const Objective> make_test_objective(const std::string& name,
+                                                     const CommGraph& cg) {
+  if (name == "worst_loss") return std::make_shared<WorstLossObjective>();
+  if (name == "worst_snr") return std::make_shared<WorstSnrObjective>();
+  if (name == "composite")
+    return std::make_shared<CompositeObjective>(0.6, 0.4);
+  return std::make_shared<BandwidthWeightedLossObjective>(cg);
+}
+
+MappingProblem make_test_problem(const std::string& topology,
+                                 const std::string& objective,
+                                 std::uint64_t cg_seed) {
+  auto cg = random_cg({.tasks = 10,
+                       .avg_out_degree = 1.8,
+                       .min_bandwidth = 8,
+                       .max_bandwidth = 256,
+                       .seed = cg_seed,
+                       .acyclic = false});
+  auto obj = make_test_objective(objective, cg);
+  return MappingProblem(std::move(cg), make_test_network(topology),
+                        std::move(obj));
+}
+
+/// Bitwise comparison of the kernel-maintained state against a fresh
+/// full evaluation of the same assignment. Zero tolerance throughout.
+void expect_matches_full(const MappingProblem& problem,
+                         const IncrementalEvaluation& kernel,
+                         const Mapping& mapping, const std::string& where) {
+  const auto full = evaluate_mapping(problem.network(), problem.cg(),
+                                     mapping.assignment(), /*detailed=*/true);
+  const auto delta = kernel.result(/*detailed=*/true);
+  ASSERT_EQ(delta.worst_loss_db, full.worst_loss_db) << where;
+  ASSERT_EQ(delta.worst_snr_db, full.worst_snr_db) << where;
+  ASSERT_EQ(problem.objective().fitness(delta),
+            problem.objective().fitness(full))
+      << where;
+  ASSERT_EQ(delta.edges.size(), full.edges.size()) << where;
+  for (std::size_t e = 0; e < full.edges.size(); ++e) {
+    ASSERT_EQ(delta.edges[e].edge, full.edges[e].edge) << where;
+    ASSERT_EQ(delta.edges[e].src_tile, full.edges[e].src_tile) << where;
+    ASSERT_EQ(delta.edges[e].dst_tile, full.edges[e].dst_tile) << where;
+    ASSERT_EQ(delta.edges[e].loss_db, full.edges[e].loss_db) << where;
+    ASSERT_EQ(delta.edges[e].signal_gain, full.edges[e].signal_gain) << where;
+    ASSERT_EQ(delta.edges[e].noise_gain, full.edges[e].noise_gain) << where;
+    ASSERT_EQ(delta.edges[e].snr_db, full.edges[e].snr_db) << where;
+  }
+}
+
+struct SweepConfig {
+  const char* topology;
+  const char* objective;
+};
+
+std::string PrintConfig(const ::testing::TestParamInfo<SweepConfig>& info) {
+  return std::string(info.param.topology) + "_" + info.param.objective;
+}
+
+class DeltaEqualsFullSweep : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(DeltaEqualsFullSweep, LongRandomSwapSequenceIsBitIdentical) {
+  const auto [topology, objective] = GetParam();
+  const auto problem = make_test_problem(topology, objective, 77);
+  const auto tiles = problem.tile_count();
+
+  IncrementalEvaluation kernel(problem.network(), problem.cg());
+  EXPECT_FALSE(kernel.has_state());
+  Rng rng(std::hash<std::string>{}(std::string(topology) + objective));
+  Mapping current = Mapping::random(problem.task_count(), tiles, rng);
+  kernel.reset(current.assignment());
+  ASSERT_NO_FATAL_FAILURE(
+      expect_matches_full(problem, kernel, current, "after reset"));
+
+  int commits = 0;
+  int reverts = 0;
+  for (int step = 0; step < 1200; ++step) {
+    const auto where = "step " + std::to_string(step);
+    if (step % 250 == 249) {
+      // Arbitrary re-assignment: the full-rebuild fallback.
+      current = Mapping::random(problem.task_count(), tiles, rng);
+      kernel.reset(current.assignment());
+      ASSERT_NO_FATAL_FAILURE(
+          expect_matches_full(problem, kernel, current, where + " rebase"));
+      continue;
+    }
+    const auto a = static_cast<TileId>(rng.next_below(tiles));
+    const auto b = static_cast<TileId>(rng.next_below(tiles));
+    current.swap_tiles(a, b);
+    kernel.propose_swap(a, b);
+    ASSERT_TRUE(kernel.pending());
+    ASSERT_NO_FATAL_FAILURE(
+        expect_matches_full(problem, kernel, current, where + " propose"));
+    if (rng.next_bool(0.6)) {
+      kernel.commit();
+      ++commits;
+    } else {
+      // Revert-after-propose round trip must restore the state bitwise.
+      kernel.revert();
+      current.swap_tiles(a, b);
+      ++reverts;
+      ASSERT_NO_FATAL_FAILURE(
+          expect_matches_full(problem, kernel, current, where + " revert"));
+    }
+  }
+  EXPECT_GT(commits, 100);
+  EXPECT_GT(reverts, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DeltaEqualsFullSweep,
+    ::testing::Values(SweepConfig{"mesh", "worst_loss"},
+                      SweepConfig{"mesh", "worst_snr"},
+                      SweepConfig{"mesh", "composite"},
+                      SweepConfig{"mesh", "bandwidth_weighted_loss"},
+                      SweepConfig{"ring", "worst_loss"},
+                      SweepConfig{"ring", "worst_snr"},
+                      SweepConfig{"ring", "composite"},
+                      SweepConfig{"ring", "bandwidth_weighted_loss"},
+                      SweepConfig{"torus", "worst_loss"},
+                      SweepConfig{"torus", "worst_snr"},
+                      SweepConfig{"torus", "composite"},
+                      SweepConfig{"torus", "bandwidth_weighted_loss"}),
+    PrintConfig);
+
+// --- kernel protocol guards -------------------------------------------------
+
+TEST(IncrementalKernel, ProtocolMisuseThrows) {
+  const auto problem = make_test_problem("mesh", "worst_snr", 3);
+  IncrementalEvaluation kernel(problem.network(), problem.cg());
+  EXPECT_THROW(kernel.propose_swap(0, 1), InvalidArgument);  // no base
+  EXPECT_THROW(kernel.commit(), InvalidArgument);
+  EXPECT_THROW(kernel.revert(), InvalidArgument);
+  Rng rng(5);
+  const auto mapping = Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng);
+  kernel.reset(mapping.assignment());
+  kernel.propose_swap(0, 1);
+  EXPECT_THROW(kernel.propose_swap(2, 3), InvalidArgument);  // pending
+  EXPECT_THROW(kernel.reset(mapping.assignment()), InvalidArgument);
+  kernel.revert();
+  EXPECT_THROW(kernel.commit(), InvalidArgument);  // nothing pending
+}
+
+TEST(IncrementalKernel, EmptyTileAndIdentitySwapsAreExactNoOps) {
+  // 10 tasks on 16 tiles: empty tiles exist. Swapping two empty tiles
+  // or a tile with itself must leave every metric bitwise unchanged.
+  const auto problem = make_test_problem("mesh", "worst_snr", 9);
+  IncrementalEvaluation kernel(problem.network(), problem.cg());
+  Rng rng(11);
+  Mapping current = Mapping::random(problem.task_count(),
+                                    problem.tile_count(), rng);
+  kernel.reset(current.assignment());
+  TileId empty_a = 0;
+  TileId empty_b = 0;
+  for (TileId t = 0; t < problem.tile_count(); ++t)
+    if (current.task_at(t) < 0) {
+      empty_a = empty_b;
+      empty_b = t;
+    }
+  ASSERT_NE(empty_a, empty_b);
+  const auto before = kernel.result(true);
+  kernel.propose_swap(empty_a, empty_b);
+  EXPECT_EQ(kernel.result(true).worst_snr_db, before.worst_snr_db);
+  kernel.commit();
+  kernel.propose_swap(3, 3);
+  EXPECT_EQ(kernel.result(true).worst_snr_db, before.worst_snr_db);
+  kernel.revert();
+  ASSERT_NO_FATAL_FAILURE(
+      expect_matches_full(problem, kernel, current, "after no-ops"));
+}
+
+// --- Evaluator move API -----------------------------------------------------
+
+TEST(EvaluatorMoves, ProposalCountsOneLogicalEvaluation) {
+  const auto problem = make_test_problem("mesh", "worst_snr", 21);
+  Evaluator evaluator(problem);
+  ASSERT_TRUE(evaluator.supports_moves());
+  Rng rng(2);
+  Mapping current = Mapping::random(problem.task_count(),
+                                    problem.tile_count(), rng);
+  const double base = evaluator.evaluate(current);
+  EXPECT_EQ(evaluator.evaluation_count(), 1u);
+
+  current.swap_tiles(1, 2);
+  const double proposed = evaluator.propose_swap(current, 1, 2);
+  EXPECT_EQ(evaluator.evaluation_count(), 2u);
+  EXPECT_EQ(proposed,
+            problem.objective().fitness(evaluator.evaluate_raw(current)));
+  evaluator.revert_move();
+  current.swap_tiles(1, 2);
+  // Back at the base: a re-proposal of any swap still agrees with the
+  // whole-mapping path, and the base fitness is unchanged.
+  EXPECT_EQ(evaluator.evaluate(current), base);
+  EXPECT_EQ(evaluator.evaluation_count(), 3u);
+}
+
+TEST(EvaluatorMoves, IncrementalOffFallsBackBitIdentically) {
+  const auto problem = make_test_problem("torus", "composite", 23);
+  Evaluator incremental(problem, {.cache_capacity = 0, .incremental = true});
+  Evaluator fallback(problem, {.cache_capacity = 0, .incremental = false});
+  EXPECT_FALSE(fallback.supports_moves());
+  Rng rng(17);
+  Mapping a = Mapping::random(problem.task_count(), problem.tile_count(),
+                              rng);
+  Mapping b = a;
+  EXPECT_EQ(incremental.evaluate(a), fallback.evaluate(b));
+  for (int step = 0; step < 300; ++step) {
+    const auto x = static_cast<TileId>(rng.next_below(problem.tile_count()));
+    const auto y = static_cast<TileId>(rng.next_below(problem.tile_count()));
+    a.swap_tiles(x, y);
+    b.swap_tiles(x, y);
+    const double fi = incremental.propose_swap(a, x, y);
+    const double ff = fallback.propose_swap(b, x, y);
+    ASSERT_EQ(fi, ff) << "step " << step;
+    if (step % 3 == 0) {
+      incremental.commit_move();
+      fallback.commit_move();
+    } else {
+      incremental.revert_move();
+      fallback.revert_move();
+      a.swap_tiles(x, y);
+      b.swap_tiles(x, y);
+    }
+  }
+  EXPECT_EQ(incremental.evaluation_count(), fallback.evaluation_count());
+}
+
+// --- complete optimizer runs: incremental on/off, cache on/off --------------
+
+void expect_identical_runs(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_TRUE(a.search.best == b.search.best);
+  EXPECT_EQ(a.search.best_fitness, b.search.best_fitness);  // bitwise
+  EXPECT_EQ(a.search.evaluations, b.search.evaluations);
+  EXPECT_EQ(a.search.iterations, b.search.iterations);
+  ASSERT_EQ(a.search.trace.size(), b.search.trace.size());
+  for (std::size_t i = 0; i < a.search.trace.size(); ++i) {
+    EXPECT_EQ(a.search.trace[i].evaluation, b.search.trace[i].evaluation);
+    EXPECT_EQ(a.search.trace[i].fitness, b.search.trace[i].fitness);
+  }
+  EXPECT_EQ(a.best_evaluation.worst_loss_db, b.best_evaluation.worst_loss_db);
+  EXPECT_EQ(a.best_evaluation.worst_snr_db, b.best_evaluation.worst_snr_db);
+}
+
+TEST(EvaluatorEquivalence, OptimizerTrajectoriesMatchWholeMappingPath) {
+  // The load-bearing end-to-end property: for every move-based
+  // optimizer, the incremental path (and the memo) must reproduce the
+  // whole-mapping sequential protocol bit for bit.
+  ExperimentSpec spec;
+  spec.benchmark = "mpeg4";
+  const auto problem = make_experiment(spec);
+  OptimizerBudget budget;
+  budget.max_evaluations = 1500;
+  const Engine reference(problem, {.cache_capacity = 0,
+                                   .incremental = false});
+  const Engine delta(problem, {.cache_capacity = 0, .incremental = true});
+  const Engine delta_cached(problem,
+                            {.cache_capacity = 512, .incremental = true});
+  for (const auto* name : {"sa", "tabu", "rpbla", "rs", "ga"}) {
+    const auto want = reference.run(name, budget, 42);
+    expect_identical_runs(delta.run(name, budget, 42), want);
+    expect_identical_runs(delta_cached.run(name, budget, 42), want);
+  }
+}
+
+// --- memoization counting contract ------------------------------------------
+
+TEST(EvaluatorMemo, CacheHitsDoNotChangeLogicalCounts) {
+  const auto problem = make_test_problem("mesh", "worst_snr", 31);
+  Evaluator evaluator(problem, {.cache_capacity = 64, .incremental = true});
+  Rng rng(4);
+  const auto mapping = Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng);
+  const double first = evaluator.evaluate(mapping);
+  EXPECT_EQ(evaluator.evaluation_count(), 1u);
+  EXPECT_EQ(evaluator.physical_evaluation_count(), 1u);
+  EXPECT_EQ(evaluator.cache_hit_count(), 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(evaluator.evaluate(mapping), first);
+  // Logical counts (what budgets observe) advance on every call; the
+  // physical evaluation ran exactly once.
+  EXPECT_EQ(evaluator.evaluation_count(), 6u);
+  EXPECT_EQ(evaluator.physical_evaluation_count(), 1u);
+  EXPECT_EQ(evaluator.cache_hit_count(), 5u);
+}
+
+TEST(EvaluatorMemo, ZeroCapacityDisablesTheCache) {
+  const auto problem = make_test_problem("mesh", "worst_snr", 31);
+  Evaluator evaluator(problem, {.cache_capacity = 0, .incremental = true});
+  Rng rng(4);
+  const auto mapping = Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng);
+  const double first = evaluator.evaluate(mapping);
+  EXPECT_EQ(evaluator.evaluate(mapping), first);
+  EXPECT_EQ(evaluator.evaluation_count(), 2u);
+  EXPECT_EQ(evaluator.physical_evaluation_count(), 2u);
+  EXPECT_EQ(evaluator.cache_hit_count(), 0u);
+}
+
+TEST(EvaluatorMemo, DuplicateHeavySamplingKeepsBudgetSemantics) {
+  // 4 tasks on 4 tiles: only 24 distinct mappings, so RS re-samples
+  // duplicates constantly. The run must still report exactly the
+  // budgeted number of evaluations while the memo absorbs the repeats.
+  auto cg = pipeline_cg(4);
+  auto network = make_network(TopologyKind::Mesh, 2, "crux");
+  MappingProblem problem(std::move(cg), network,
+                         make_objective(OptimizationGoal::InsertionLoss));
+  Evaluator evaluator(problem, {.cache_capacity = 64, .incremental = true});
+  SearchState state(evaluator, 4, 4, OptimizerBudget{500, 0.0}, 9);
+  while (!state.exhausted())
+    state.evaluate(Mapping::random(4, 4, state.rng()));
+  EXPECT_EQ(state.evaluations(), 500u);
+  EXPECT_EQ(evaluator.evaluation_count(), 500u);
+  EXPECT_LE(evaluator.physical_evaluation_count(), 24u);
+  EXPECT_EQ(evaluator.cache_hit_count(),
+            evaluator.evaluation_count() -
+                evaluator.physical_evaluation_count());
+}
+
+TEST(EvaluatorRaw, HonorsObjectiveDetailNeeds) {
+  // evaluate_raw used to drop per-edge detail unconditionally, so
+  // objective().fitness(evaluate_raw(m)) threw for detail-needing
+  // objectives; it now mirrors the objective's needs.
+  const auto detail_problem =
+      make_test_problem("mesh", "bandwidth_weighted_loss", 13);
+  const auto scalar_problem = make_test_problem("mesh", "worst_snr", 13);
+  Rng rng(6);
+  const auto mapping = Mapping::random(detail_problem.task_count(),
+                                       detail_problem.tile_count(), rng);
+  const Evaluator with_detail(detail_problem);
+  const Evaluator without_detail(scalar_problem);
+  const auto raw = with_detail.evaluate_raw(mapping);
+  EXPECT_EQ(raw.edges.size(), detail_problem.cg().communication_count());
+  EXPECT_NO_THROW((void)detail_problem.objective().fitness(raw));
+  EXPECT_TRUE(without_detail.evaluate_raw(mapping).edges.empty());
+}
+
+TEST(MappingHash, SensitiveToOrderAndContents) {
+  const auto h1 = Mapping::from_assignment({0, 1, 2}, 4).hash();
+  const auto h2 = Mapping::from_assignment({0, 2, 1}, 4).hash();
+  const auto h3 = Mapping::from_assignment({0, 1, 3}, 4).hash();
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_EQ(h1, Mapping::from_assignment({0, 1, 2}, 4).hash());
+  EXPECT_EQ(h1, assignment_hash(std::vector<TileId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace phonoc
