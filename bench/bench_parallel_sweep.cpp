@@ -11,6 +11,8 @@
 ///
 /// --evals=N cell budget (default 1500; PHONOC_SWEEP_EVALS overrides),
 /// --workers=N pool size for the parallel pass (default all threads),
+/// --fork=1 adds a fork/exec worker-process pass (spawn + wire-protocol
+/// overhead, bit-identity across the process boundary),
 /// --csv=FILE dump the aggregated report.
 
 #include <fstream>
@@ -18,6 +20,7 @@
 
 #include "exec/aggregate.hpp"
 #include "exec/batch_engine.hpp"
+#include "exec/fork_exec.hpp"
 #include "exec/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -75,7 +78,32 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < sequential_results.size(); ++i)
     if (!identical(sequential_results[i], parallel_results[i])) ++mismatches;
 
-  const auto report = SweepReport::build(spec, parallel_results);
+  // Optional third pass: the crash-isolated fork/exec worker backend.
+  // Measures the process-spawn + serialization overhead against the
+  // in-process pool and re-checks bit-identity across the wire.
+  if (cli.get_bool("fork", false)) {
+    const BatchEngine forked({.workers = workers,
+                              .backend = BatchBackend::ForkExec,
+                              .worker_path = worker_path_near(argv[0])});
+    timer.restart();
+    const auto forked_results = forked.run(spec);
+    const double forked_seconds = timer.elapsed_seconds();
+    std::size_t fork_mismatches = 0;
+    for (std::size_t i = 0; i < sequential_results.size(); ++i)
+      if (forked_results[i].status != CellStatus::Ok ||
+          !identical(sequential_results[i], forked_results[i]))
+        ++fork_mismatches;
+    std::cout << "# fork/exec (" << forked.worker_count()
+              << " processes): " << format_fixed(forked_seconds, 2) << " s, "
+              << fork_mismatches << " mismatched cells"
+              << (fork_mismatches == 0 ? " (bit-identical across the wire)"
+                                       : " (BUG)")
+              << '\n';
+    mismatches += fork_mismatches;
+  }
+
+  const auto report = SweepReport::build(spec, parallel_results,
+                                         parallel_seconds);
   std::cout << report.to_ascii() << '\n';
 
   const double speedup =

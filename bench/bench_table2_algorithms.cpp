@@ -147,9 +147,10 @@ int main(int argc, char** argv) {
   std::cout << "\n# paper reference: GA over RS up to 50-60% (SNR) / ~17% "
                "(loss); R-PBLA over GA ~2% (mesh) and ~12% (torus) for SNR, "
                "9-10% for loss.\n";
-  const auto report = SweepReport::build(spec, results);
-  std::cout << "# total time: " << format_fixed(timer.elapsed_seconds(), 1)
-            << " s wall (" << format_fixed(report.total_seconds, 1)
+  const auto report = SweepReport::build(spec, results,
+                                         timer.elapsed_seconds());
+  std::cout << "# total time: " << format_fixed(report.wall_seconds, 1)
+            << " s wall (" << format_fixed(report.cpu_seconds, 1)
             << " s of per-cell work on " << engine.worker_count()
             << " workers)\n";
   return 0;

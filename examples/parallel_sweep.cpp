@@ -8,11 +8,21 @@
 /// dimension collapsed into RunningStats) and optionally a CSV.
 ///
 ///     parallel_sweep [--evals=N] [--workers=N] [--seeds=N] [--csv=FILE]
+///                    [--backend=thread|fork] [--worker=PATH]
+///                    [--expect-failed=N]
+///
+/// `--backend=fork` runs the grid on crash-isolated `phonoc_worker`
+/// processes (one per slice; a dying worker fails only the cell it died
+/// on). `--worker` overrides the worker binary, which defaults to the
+/// `phonoc_worker` sitting next to this executable. `--expect-failed`
+/// turns the run into a smoke check: exit nonzero unless exactly N
+/// cells failed — CI uses this with PHONOC_WORKER_CRASH_INDEX to prove
+/// the fork/exec recovery path on every push.
 ///
 /// Because every cell owns its Evaluator and RNG, the results are
-/// bit-identical whatever the worker count: re-run with --workers=1 and
-/// diff the CSV to see the determinism contract in action (every column
-/// except the wall-time one matches exactly).
+/// bit-identical whatever the worker count or backend: re-run with
+/// --workers=1 and diff the CSV to see the determinism contract in
+/// action (every column except the wall-time one matches exactly).
 
 #include <algorithm>
 #include <fstream>
@@ -20,6 +30,7 @@
 
 #include "exec/aggregate.hpp"
 #include "exec/batch_engine.hpp"
+#include "exec/fork_exec.hpp"
 #include "exec/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -32,6 +43,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("evals", 2000));
   const auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 3));
+  const auto backend_name = cli.get_or("backend", "thread");
+  if (backend_name != "thread" && backend_name != "fork") {
+    std::cerr << "error: --backend must be 'thread' or 'fork'\n";
+    return 1;
+  }
 
   SweepSpec spec;
   spec.add_all_benchmarks()
@@ -43,26 +59,41 @@ int main(int argc, char** argv) {
       .add_budget(evals)
       .add_seed_range(1, seeds);
 
-  const BatchEngine engine({.workers = workers});
+  BatchOptions options{.workers = workers};
+  if (backend_name == "fork") {
+    options.backend = BatchBackend::ForkExec;
+    options.worker_path = cli.get_or("worker", worker_path_near(argv[0]));
+  }
+  const BatchEngine engine(options);
   std::cout << "Sweeping " << cell_count(spec) << " cells ("
             << spec.workloads.size() << " apps x " << spec.topologies.size()
             << " topologies x " << spec.goals.size() << " objectives x "
             << spec.optimizers.size() << " optimizers x " << spec.seeds.size()
-            << " seeds) on " << engine.worker_count() << " worker(s)...\n";
+            << " seeds) on " << engine.worker_count() << ' ' << backend_name
+            << " worker(s)...\n";
 
   Timer timer;
   const auto results = engine.run(spec);
-  const auto report = SweepReport::build(spec, results);
+  const auto report = SweepReport::build(spec, results,
+                                         timer.elapsed_seconds());
 
   std::cout << '\n' << report.to_ascii() << '\n';
   std::cout << "Ran " << report.run_count << " runs in "
-            << format_fixed(timer.elapsed_seconds(), 1) << " s wall ("
-            << format_fixed(report.total_seconds, 1)
-            << " s of single-thread work; "
-            << format_fixed(report.total_seconds /
-                                std::max(1e-9, timer.elapsed_seconds()),
+            << format_fixed(report.wall_seconds, 1) << " s wall ("
+            << format_fixed(report.cpu_seconds, 1)
+            << " s of CPU work; "
+            << format_fixed(report.cpu_seconds /
+                                std::max(1e-9, report.wall_seconds),
                             2)
             << "x parallel efficiency x workers).\n";
+  if (report.failed_count > 0) {
+    std::cout << report.failed_count << " cell(s) FAILED:\n";
+    for (const auto& result : results)
+      if (result.status == CellStatus::Failed)
+        std::cout << "  cell " << result.cell.index << " ("
+                  << cell_label(spec, result.cell) << "): " << result.error
+                  << '\n';
+  }
 
   if (const auto csv_path = cli.get("csv")) {
     std::ofstream out(*csv_path);
@@ -72,6 +103,24 @@ int main(int argc, char** argv) {
     }
     report.write_csv(out);
     std::cout << "Aggregated report written to " << *csv_path << '\n';
+  }
+
+  if (cli.has("expect-failed")) {
+    const auto expected =
+        static_cast<std::size_t>(cli.get_int("expect-failed", 0));
+    if (report.failed_count != expected) {
+      std::cerr << "error: expected " << expected << " failed cell(s), got "
+                << report.failed_count << '\n';
+      return 1;
+    }
+    if (report.run_count + report.failed_count != results.size()) {
+      std::cerr << "error: " << results.size() << " cells but only "
+                << report.run_count + report.failed_count
+                << " accounted for\n";
+      return 1;
+    }
+    std::cout << "Crash-isolation check passed: " << report.failed_count
+              << " failed, " << report.run_count << " completed.\n";
   }
   return 0;
 }

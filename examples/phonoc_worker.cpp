@@ -1,0 +1,22 @@
+/// \file phonoc_worker.cpp
+/// \brief Worker executable of BatchEngine's fork/exec backend.
+///
+/// Reads one serialized sweep shard (exec/serialize.hpp wire format) on
+/// stdin and streams cell-result blocks on stdout; the parent process
+/// (exec/fork_exec.cpp) spawns one of these per grid slice. The binary
+/// can also be driven by hand for debugging:
+///
+///     phonoc_worker < shard.txt > results.txt
+///
+/// Exit codes: 0 = slice fully processed, 2 = protocol/setup error
+/// (diagnostic on stderr). A crash (abort/segfault) is the expected
+/// failure mode this backend exists to contain.
+
+#include <iostream>
+
+#include "exec/worker.hpp"
+
+int main() {
+  std::ios::sync_with_stdio(false);
+  return phonoc::worker_main(std::cin, std::cout);
+}

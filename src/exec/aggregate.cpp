@@ -50,8 +50,10 @@ void AggregateCell::merge(const AggregateCell& other) {
 }
 
 SweepReport SweepReport::build(const SweepSpec& spec,
-                               const std::vector<CellResult>& results) {
+                               const std::vector<CellResult>& results,
+                               double wall_seconds) {
   SweepReport report;
+  report.wall_seconds = wall_seconds;
   std::map<CoordinateKey, std::size_t> slots;  // coordinate -> cell index
   for (const auto& result : results) {
     const auto& cell = result.cell;
@@ -73,9 +75,16 @@ SweepReport SweepReport::build(const SweepSpec& spec,
       it = slots.emplace(key, report.cells.size()).first;
       report.cells.push_back(std::move(aggregate));
     }
+    // The slot exists even when every seed of the coordinate failed, so
+    // report rows stay aligned with the grid (such a row shows 0 runs);
+    // failed cells carry no run and stay out of every statistic.
+    if (result.status == CellStatus::Failed) {
+      ++report.failed_count;
+      continue;
+    }
     report.cells[it->second].add(result);
     ++report.run_count;
-    report.total_seconds += result.seconds;
+    report.cpu_seconds += result.seconds;
   }
   return report;
 }
@@ -92,7 +101,9 @@ void SweepReport::merge(const SweepReport& other) {
       cells[it->second].merge(c);
   }
   run_count += other.run_count;
-  total_seconds += other.total_seconds;
+  failed_count += other.failed_count;
+  cpu_seconds += other.cpu_seconds;
+  wall_seconds += other.wall_seconds;
 }
 
 namespace {

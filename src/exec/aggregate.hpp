@@ -52,12 +52,24 @@ struct AggregateCell {
 /// collapsed.
 struct SweepReport {
   std::vector<AggregateCell> cells;
-  std::size_t run_count = 0;      ///< individual runs folded in
-  double total_seconds = 0.0;     ///< summed per-cell wall time
+  std::size_t run_count = 0;      ///< successful runs folded in
+  std::size_t failed_count = 0;   ///< Failed cells (excluded from stats)
+  /// Summed per-cell seconds — CPU time, not wall time: on a parallel
+  /// run it exceeds the wall clock by roughly the worker count.
+  double cpu_seconds = 0.0;
+  /// True elapsed wall time of the batch, measured by the caller around
+  /// BatchEngine::run (0 when not supplied). Merging sums it, which is
+  /// exact for shards executed back to back; concurrent shards (e.g. on
+  /// different hosts) overstate it — take the max upstream instead.
+  double wall_seconds = 0.0;
 
   /// Aggregate a batch of results against the spec that produced them.
+  /// Failed cells are counted in `failed_count` and kept out of every
+  /// statistic. `wall_seconds` is the caller-measured elapsed time of
+  /// the batch (optional).
   [[nodiscard]] static SweepReport build(
-      const SweepSpec& spec, const std::vector<CellResult>& results);
+      const SweepSpec& spec, const std::vector<CellResult>& results,
+      double wall_seconds = 0.0);
 
   /// Merge a report over the same spec (e.g. another shard of seeds).
   void merge(const SweepReport& other);

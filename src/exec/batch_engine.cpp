@@ -2,33 +2,32 @@
 
 #include <algorithm>
 #include <future>
-#include <map>
-#include <memory>
-#include <tuple>
 #include <utility>
 
+#include "exec/fork_exec.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace phonoc {
-namespace {
 
-/// Problems shared by cells that differ only in optimizer/budget/seed.
-/// Built sequentially before the grid runs (network construction is the
-/// expensive, allocation-heavy part); immutable afterwards, so sharing
-/// across workers is safe.
-using ProblemKey = std::tuple<std::size_t, std::size_t, std::size_t>;
-
-std::map<ProblemKey, std::shared_ptr<const MappingProblem>> build_problems(
-    const SweepSpec& spec, const std::vector<SweepCell>& cells) {
-  std::map<ProblemKey, std::shared_ptr<const MappingProblem>> problems;
+std::map<SweepProblemKey, std::shared_ptr<const MappingProblem>>
+build_sweep_problems(const SweepSpec& spec,
+                     const std::vector<SweepCell>& cells) {
+  std::map<SweepProblemKey, std::shared_ptr<const MappingProblem>> problems;
   // Networks are shared one level further: goals reuse the same network.
+  // The cache key {resolved side, topology index} is exhaustive: a
+  // network is built from the topology's kind (determined by the
+  // topology index), the resolved side, and spec-global knobs (router,
+  // tile_pitch_mm, parameters, model_options) — never from the workload
+  // itself, whose only influence is the resolved side already in the
+  // key. tests/test_exec.cpp (NetworkCacheIsWorkloadIndependent) pins
+  // this down against per-cell fresh networks.
   std::map<std::pair<std::uint32_t, std::size_t>,
            std::shared_ptr<const NetworkModel>>
       networks;
   for (const auto& cell : cells) {
-    const ProblemKey key{cell.workload, cell.topology, cell.goal};
+    const SweepProblemKey key{cell.workload, cell.topology, cell.goal};
     if (problems.count(key)) continue;
     const auto side = resolved_side(spec, cell.workload, cell.topology);
     auto& network = networks[{side, cell.topology}];
@@ -40,27 +39,25 @@ std::map<ProblemKey, std::shared_ptr<const MappingProblem>> build_problems(
   return problems;
 }
 
-CellResult run_cell(const SweepSpec& spec, const SweepCell& cell,
-                    const MappingProblem& problem,
-                    const EvaluatorOptions& evaluator_options) {
+CellResult run_sweep_cell(const SweepSpec& spec, const SweepCell& cell,
+                          const MappingProblem& problem,
+                          const EvaluatorOptions& evaluator) {
   Timer timer;
   CellResult result;
   result.cell = cell;
   result.seed = spec.seeds[cell.seed];
   result.run =
-      Engine(problem, evaluator_options)
+      Engine(problem, evaluator)
           .run(spec.optimizers[cell.optimizer], spec.budgets[cell.budget],
                result.seed);
   result.seconds = timer.elapsed_seconds();
   return result;
 }
 
-}  // namespace
-
 BatchEngine::BatchEngine(BatchOptions options)
     : workers_(options.workers == 0 ? ThreadPool::default_worker_count()
                                     : options.workers),
-      evaluator_options_(options.evaluator) {
+      options_(std::move(options)) {
   require(workers_ <= ThreadPool::kMaxWorkers,
           "BatchEngine: worker count " + std::to_string(workers_) +
               " exceeds the sanity limit of " +
@@ -68,20 +65,24 @@ BatchEngine::BatchEngine(BatchOptions options)
 }
 
 std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
+  if (options_.backend == BatchBackend::ForkExec)
+    return run_fork_exec(spec, options_, workers_);
+
   const auto cells = expand(spec);
-  const auto problems = build_problems(spec, cells);
+  const auto problems = build_sweep_problems(spec, cells);
   std::vector<CellResult> results(cells.size());
   log_info() << "BatchEngine: " << cells.size() << " cells on " << workers_
              << " worker(s), " << problems.size() << " shared problem(s)";
 
   const auto problem_of = [&](const SweepCell& cell) -> const MappingProblem& {
-    return *problems.at(ProblemKey{cell.workload, cell.topology, cell.goal});
+    return *problems.at(
+        SweepProblemKey{cell.workload, cell.topology, cell.goal});
   };
 
   if (workers_ <= 1 || cells.size() <= 1) {
     for (const auto& cell : cells)
       results[cell.index] =
-          run_cell(spec, cell, problem_of(cell), evaluator_options_);
+          run_sweep_cell(spec, cell, problem_of(cell), options_.evaluator);
     return results;
   }
 
@@ -94,16 +95,36 @@ std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
       // kernel or memo) and RNG and writes only its slot: the outcome
       // cannot depend on scheduling.
       results[cell.index] =
-          run_cell(spec, cell, problem_of(cell), evaluator_options_);
+          run_sweep_cell(spec, cell, problem_of(cell), options_.evaluator);
     }));
-  try {
-    for (auto& future : futures) future.get();  // re-throws task exceptions
-  } catch (...) {
-    // Abort the batch: don't let the pool's graceful-drain destructor
-    // run the (possibly hours of) remaining cells first.
-    pool.cancel_pending();
-    throw;
+  // Abort path: the first real task failure cancels the queue (don't
+  // let the pool's graceful-drain destructor run the possibly hours of
+  // remaining cells first) and is rethrown once every in-flight future
+  // has settled. cancel_pending() breaks the promises of the discarded
+  // cells; those std::future_errors are a consequence of the abort, not
+  // a cause, so they are swallowed — unless one somehow arrives first,
+  // in which case it is translated into a descriptive ExecError instead
+  // of escaping as a raw std::future_error.
+  std::exception_ptr failure;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      futures[i].get();
+    } catch (const std::future_error& e) {
+      if (!failure) {
+        failure = std::make_exception_ptr(ExecError(
+            "BatchEngine: cell " + std::to_string(i) +
+            " was discarded before it ran (broken promise: " + e.what() +
+            ")"));
+        pool.cancel_pending();
+      }
+    } catch (...) {
+      if (!failure) {
+        failure = std::current_exception();
+        pool.cancel_pending();
+      }
+    }
   }
+  if (failure) std::rethrow_exception(failure);
   return results;
 }
 
@@ -111,7 +132,7 @@ std::vector<RunResult> BatchEngine::compare(
     const MappingProblem& problem,
     const std::vector<std::string>& optimizer_names,
     const OptimizerBudget& budget, std::uint64_t seed) const {
-  const Engine engine(problem, evaluator_options_);
+  const Engine engine(problem, options_.evaluator);
   return engine.compare(optimizer_names, budget, seed, workers_);
 }
 

@@ -4,15 +4,21 @@
 ///
 /// Determinism contract: for a spec whose budgets are evaluation counts
 /// (no wall-clock caps), the results are bit-identical to a sequential
-/// run regardless of worker count and scheduling order. Each cell owns
-/// its Evaluator and RNG (seeded from the spec's seed list alone), the
-/// shared problems are immutable after construction, and every cell
-/// writes only its own pre-allocated result slot. Only the timing fields
-/// (`seconds`, OptimizerResult::seconds) vary between runs.
+/// run regardless of worker count, scheduling order and backend (the
+/// in-process pool and the fork/exec worker processes run the same
+/// per-cell code; the wire format round-trips doubles bit-exactly).
+/// Each cell owns its Evaluator and RNG (seeded from the spec's seed
+/// list alone), the shared problems are immutable after construction,
+/// and every cell writes only its own pre-allocated result slot. Only
+/// the timing fields (`seconds`, OptimizerResult::seconds) vary between
+/// runs.
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -20,9 +26,22 @@
 
 namespace phonoc {
 
+/// How BatchEngine executes the expanded grid.
+enum class BatchBackend {
+  /// Worker threads in this process (fastest; a crashing optimizer
+  /// takes the whole batch down).
+  InProcess,
+  /// One forked+exec'd `phonoc_worker` process per contiguous slice of
+  /// the grid, speaking the exec/serialize wire protocol over pipes. A
+  /// crashing or leaking worker fails only the cell it died on; the
+  /// slice's remainder is respawned and the rest of the grid completes.
+  ForkExec,
+};
+
 struct BatchOptions {
-  /// Worker threads; 0 = ThreadPool::default_worker_count(), 1 = run
-  /// inline on the calling thread (no pool).
+  /// Worker threads (InProcess) or worker processes (ForkExec);
+  /// 0 = ThreadPool::default_worker_count(). With the InProcess
+  /// backend, 1 runs inline on the calling thread (no pool).
   std::size_t workers = 0;
   /// Per-cell Evaluator configuration (memo capacity, incremental move
   /// path). Each cell constructs its own Evaluator from these, so the
@@ -30,15 +49,47 @@ struct BatchOptions {
   /// physical evaluation cost, never logical evaluation counts or
   /// fitness values (see core/evaluator.hpp).
   EvaluatorOptions evaluator{};
+  /// Execution backend (see BatchBackend).
+  BatchBackend backend = BatchBackend::InProcess;
+  /// ForkExec only: path of the worker executable. Empty falls back to
+  /// the PHONOC_WORKER_BIN environment variable, then to "phonoc_worker"
+  /// resolved through PATH.
+  std::string worker_path;
+};
+
+/// Terminal state of one grid cell.
+enum class CellStatus {
+  Ok,      ///< the optimizer ran to completion; `run` is valid
+  Failed,  ///< the cell's worker died (or never ran); see `error`
 };
 
 /// Outcome of one grid cell.
 struct CellResult {
   SweepCell cell;
   std::uint64_t seed = 0;  ///< the actual seed value (spec.seeds[cell.seed])
-  RunResult run;
+  RunResult run;           ///< valid only when status == CellStatus::Ok
   double seconds = 0.0;    ///< wall time of this cell (informational)
+  CellStatus status = CellStatus::Ok;
+  std::string error;       ///< diagnostic for Failed cells
 };
+
+/// Problems shared by cells that differ only in optimizer/budget/seed,
+/// keyed by (workload, topology, goal). Built sequentially before a
+/// grid runs (network construction is the expensive, allocation-heavy
+/// part); immutable afterwards, so sharing across workers is safe. The
+/// fork/exec worker uses the same builder so both backends construct
+/// bit-identical problems.
+using SweepProblemKey = std::tuple<std::size_t, std::size_t, std::size_t>;
+[[nodiscard]] std::map<SweepProblemKey,
+                       std::shared_ptr<const MappingProblem>>
+build_sweep_problems(const SweepSpec& spec,
+                     const std::vector<SweepCell>& cells);
+
+/// Execute one cell (the shared per-cell code path of every backend).
+[[nodiscard]] CellResult run_sweep_cell(const SweepSpec& spec,
+                                        const SweepCell& cell,
+                                        const MappingProblem& problem,
+                                        const EvaluatorOptions& evaluator);
 
 class BatchEngine {
  public:
@@ -56,10 +107,13 @@ class BatchEngine {
       const OptimizerBudget& budget, std::uint64_t seed) const;
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+  [[nodiscard]] BatchBackend backend() const noexcept {
+    return options_.backend;
+  }
 
  private:
   std::size_t workers_;
-  EvaluatorOptions evaluator_options_;
+  BatchOptions options_;
 };
 
 }  // namespace phonoc

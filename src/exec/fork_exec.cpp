@@ -1,0 +1,287 @@
+#include "exec/fork_exec.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "exec/serialize.hpp"
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PHONOC_HAS_FORK_EXEC 1
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define PHONOC_HAS_FORK_EXEC 0
+#endif
+
+namespace phonoc {
+
+std::string resolve_worker_path(const BatchOptions& options) {
+  if (!options.worker_path.empty()) return options.worker_path;
+  if (const char* env = std::getenv("PHONOC_WORKER_BIN"); env && *env)
+    return env;
+  return "phonoc_worker";
+}
+
+std::string worker_path_near(const std::string& argv0) {
+  const auto slash = argv0.find_last_of('/');
+  if (slash == std::string::npos) return "phonoc_worker";
+  return argv0.substr(0, slash + 1) + "phonoc_worker";
+}
+
+#if PHONOC_HAS_FORK_EXEC
+
+namespace {
+
+/// Block SIGPIPE on the calling thread so a write to a dead worker's
+/// pipe fails with EPIPE instead of killing the process. The pending
+/// (blocked) signal is discarded when the slice thread exits.
+void block_sigpipe() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE and friends: the child died early
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_all(int fd) {
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<std::size_t>(n));
+  }
+  return data;
+}
+
+struct SpawnOutcome {
+  std::size_t cells_received = 0;  ///< consecutive complete cells stored
+  bool clean_exit = false;         ///< exit status 0
+  bool exec_failed = false;        ///< exit 127 with no output at all
+  std::string death;               ///< diagnostic when !clean_exit
+};
+
+/// Spawn one worker for grid slice [begin, end); feed it the shard and
+/// harvest every complete cell block into `results`. Blocks that were
+/// torn by a crash (or arrive out of order) are discarded.
+SpawnOutcome spawn_slice(const std::string& worker_path,
+                         const SweepSpec& spec,
+                         const EvaluatorOptions& evaluator, std::size_t begin,
+                         std::size_t end, std::vector<CellResult>& results) {
+  int in_pipe[2];   // parent -> worker stdin
+  int out_pipe[2];  // worker stdout -> parent
+  if (::pipe(in_pipe) != 0)
+    throw ExecError(std::string("ForkExec: pipe failed: ") +
+                    std::strerror(errno));
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    throw ExecError(std::string("ForkExec: pipe failed: ") +
+                    std::strerror(errno));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]})
+      ::close(fd);
+    throw ExecError(std::string("ForkExec: fork failed: ") +
+                    std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    for (const int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]})
+      ::close(fd);
+    char* const argv[] = {const_cast<char*>(worker_path.c_str()), nullptr};
+    ::execvp(worker_path.c_str(), argv);
+    _exit(127);  // the conventional "could not exec" status
+  }
+
+  // Parent.
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+
+  // The worker reads its whole stdin before computing, so writing the
+  // entire shard first and only then draining stdout cannot deadlock.
+  SweepShard shard;
+  shard.spec = spec;  // shared-ptr-free value copy; specs are small
+  shard.begin = begin;
+  shard.end = end;
+  shard.evaluator = evaluator;
+  std::ostringstream shard_text;
+  write_shard(shard_text, shard);
+  const bool fed = write_all(in_pipe[1], shard_text.str());
+  ::close(in_pipe[1]);
+
+  const std::string output = read_all(out_pipe[0]);
+  ::close(out_pipe[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  SpawnOutcome outcome;
+  std::istringstream blocks(output);
+  try {
+    for (;;) {
+      auto result = read_cell_result(blocks);
+      if (!result) break;
+      // Workers emit their slice in grid order; anything else means the
+      // stream is corrupt from here on.
+      if (result->cell.index != begin + outcome.cells_received) break;
+      results[result->cell.index] = std::move(*result);
+      ++outcome.cells_received;
+    }
+  } catch (const ParseError&) {
+    // Torn final block: the worker died mid-write. Everything stored so
+    // far is complete and valid.
+  }
+
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    outcome.clean_exit = true;
+  } else if (WIFSIGNALED(status)) {
+    outcome.death = std::string("worker killed by signal ") +
+                    std::to_string(WTERMSIG(status)) + " (" +
+                    ::strsignal(WTERMSIG(status)) + ")";
+  } else if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    outcome.exec_failed = code == 127 && output.empty();
+    outcome.death = outcome.exec_failed
+                        ? "worker binary '" + worker_path +
+                              "' could not be executed"
+                        : "worker exited with status " + std::to_string(code);
+  } else {
+    outcome.death = "worker ended in an unknown way";
+  }
+  if (!fed && outcome.death.empty())
+    outcome.death = "worker closed its stdin before the shard was delivered";
+  return outcome;
+}
+
+void mark_failed(std::vector<CellResult>& results, const SweepSpec& spec,
+                 const std::vector<SweepCell>& cells, std::size_t index,
+                 const std::string& message) {
+  CellResult failed;
+  failed.cell = cells[index];
+  failed.seed = spec.seeds[cells[index].seed];
+  failed.status = CellStatus::Failed;
+  failed.error = message;
+  results[index] = std::move(failed);
+}
+
+/// Drive one slice to completion: spawn, harvest, and on worker death
+/// fail the first unemitted cell and respawn for the remainder.
+void run_slice(const std::string& worker_path, const SweepSpec& spec,
+               const EvaluatorOptions& evaluator,
+               const std::vector<SweepCell>& cells, std::size_t begin,
+               std::size_t end, std::vector<CellResult>& results) {
+  block_sigpipe();
+  std::size_t next = begin;
+  while (next < end) {
+    auto outcome =
+        spawn_slice(worker_path, spec, evaluator, next, end, results);
+    next += outcome.cells_received;
+    if (next >= end && outcome.clean_exit) return;
+    if (outcome.clean_exit)
+      outcome.death = "worker exited before emitting its whole slice";
+    if (outcome.exec_failed && outcome.cells_received == 0) {
+      // Exec will not start working on a respawn either: fail the whole
+      // remainder instead of burning one spawn per cell.
+      for (; next < end; ++next)
+        mark_failed(results, spec, cells, next, outcome.death);
+      return;
+    }
+    log_info() << "ForkExec: " << outcome.death << "; cell " << next
+               << " marked failed, respawning for ["
+               << next + 1 << ", " << end << ")";
+    mark_failed(results, spec, cells, next, outcome.death);
+    ++next;
+  }
+}
+
+}  // namespace
+
+std::vector<CellResult> run_fork_exec(const SweepSpec& spec,
+                                      const BatchOptions& options,
+                                      std::size_t workers) {
+  const auto cells = expand(spec);
+  std::vector<CellResult> results(cells.size());
+  if (cells.empty()) return results;
+
+  const auto worker_path = resolve_worker_path(options);
+  // Pre-flight explicit paths so a typo fails fast instead of failing
+  // every cell; bare names go through execvp's PATH search.
+  if (worker_path.find('/') != std::string::npos &&
+      ::access(worker_path.c_str(), X_OK) != 0)
+    throw ExecError("ForkExec: worker binary '" + worker_path +
+                    "' is not executable");
+
+  const std::size_t n_workers = std::min(
+      std::max<std::size_t>(workers, 1), cells.size());
+  log_info() << "BatchEngine[fork/exec]: " << cells.size() << " cells on "
+             << n_workers << " worker process(es), worker binary '"
+             << worker_path << "'";
+
+  // Contiguous, balanced slices in grid order: slice i gets the cells
+  // [i*base + min(i, rem), ...) — the first `rem` slices are one longer.
+  const std::size_t base = cells.size() / n_workers;
+  const std::size_t rem = cells.size() % n_workers;
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(n_workers);
+  threads.reserve(n_workers);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    const std::size_t size = base + (i < rem ? 1 : 0);
+    const std::size_t end = begin + size;
+    threads.emplace_back([&, i, begin, end] {
+      try {
+        run_slice(worker_path, spec, options.evaluator, cells, begin, end,
+                  results);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    begin = end;
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+  return results;
+}
+
+#else  // !PHONOC_HAS_FORK_EXEC
+
+std::vector<CellResult> run_fork_exec(const SweepSpec&, const BatchOptions&,
+                                      std::size_t) {
+  throw ExecError(
+      "BatchBackend::ForkExec requires a POSIX platform (fork/exec/pipes); "
+      "use BatchBackend::InProcess here");
+}
+
+#endif
+
+}  // namespace phonoc

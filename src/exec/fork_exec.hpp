@@ -1,0 +1,47 @@
+#pragma once
+/// \file fork_exec.hpp
+/// \brief Crash-isolated multi-process backend for BatchEngine.
+///
+/// The grid is split into `workers` contiguous slices of expand()
+/// output; each slice is executed by a forked+exec'd `phonoc_worker`
+/// process that receives a serialized SweepShard on stdin and streams
+/// cell-result blocks back on stdout (exec/serialize.hpp wire format).
+/// Results land in their pre-allocated grid slots, so the returned
+/// vector is in grid order exactly like the in-process backend's.
+///
+/// Crash semantics: when a worker dies (signal, abort, nonzero exit)
+/// the first cell it had not fully emitted is marked
+/// CellStatus::Failed with a diagnostic, and a fresh worker is
+/// respawned for the slice's remainder. Repeated crashes therefore
+/// fail one cell per death and always make progress; the rest of the
+/// grid is unaffected. A worker that cannot even exec (exit code 127
+/// before producing any output) fails its whole remaining slice at
+/// once instead of respawning per cell.
+///
+/// POSIX-only: on other platforms run_fork_exec throws ExecError.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exec/batch_engine.hpp"
+
+namespace phonoc {
+
+/// Execute the grid with fork/exec workers (BatchEngine::run dispatches
+/// here for BatchBackend::ForkExec). `workers` is the resolved process
+/// count (>= 1).
+[[nodiscard]] std::vector<CellResult> run_fork_exec(
+    const SweepSpec& spec, const BatchOptions& options, std::size_t workers);
+
+/// Resolve the worker binary for `options`: BatchOptions::worker_path
+/// if set, else the PHONOC_WORKER_BIN environment variable, else
+/// "phonoc_worker" (found through PATH by execvp).
+[[nodiscard]] std::string resolve_worker_path(const BatchOptions& options);
+
+/// Convenience for CLI tools: the path of a `phonoc_worker` binary
+/// sitting next to the running executable (argv[0]'s directory), or
+/// plain "phonoc_worker" when argv0 has no directory component.
+[[nodiscard]] std::string worker_path_near(const std::string& argv0);
+
+}  // namespace phonoc

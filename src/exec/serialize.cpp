@@ -1,0 +1,502 @@
+#include "exec/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "io/cg_io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+namespace {
+
+constexpr const char* kShardMagic = "phonoc-shard v1";
+constexpr const char* kCellMagic = "phonoc-cell v1";
+
+// --- writing helpers -------------------------------------------------------
+
+void write_doubles(std::ostream& out, std::initializer_list<double> values) {
+  for (const double v : values) out << ' ' << format_double(v);
+}
+
+std::string fidelity_name(ModelFidelity f) {
+  return f == ModelFidelity::Full ? "full" : "simplified";
+}
+
+std::string conflict_name(ConflictPolicy p) {
+  return p == ConflictPolicy::Ignore ? "ignore" : "exclude";
+}
+
+// --- reading helpers -------------------------------------------------------
+
+/// Line reader with position tracking; '#' comments and blank lines are
+/// skipped so shard files can be annotated by hand.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next meaningful line; nullopt at EOF. Blank lines and whole-line
+  /// comments are always skipped. By default everything after '#' is
+  /// stripped; `keep_inline_comment` returns the line verbatim instead —
+  /// required for free-text payloads (`failed` diagnostics, `workload`
+  /// names) that may legitimately contain '#'.
+  std::optional<std::string> next(bool keep_inline_comment = false) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      std::string stripped = line;
+      const auto hash = stripped.find('#');
+      if (hash != std::string::npos) stripped.erase(hash);
+      if (trim(stripped).empty()) continue;  // blank or comment-only
+      return keep_inline_comment ? line : stripped;
+    }
+    return std::nullopt;
+  }
+
+  /// Next line, required to exist.
+  std::string require_line(const std::string& context,
+                           bool keep_inline_comment = false) {
+    auto line = next(keep_inline_comment);
+    if (!line)
+      throw ParseError("unexpected end of stream while reading " + context,
+                       line_no_);
+    return *line;
+  }
+
+  /// Next line split on whitespace, with the first field required to be
+  /// `keyword`.
+  std::vector<std::string> expect(const std::string& keyword) {
+    const auto fields = split_ws(require_line(keyword));
+    if (fields.empty() || fields[0] != keyword)
+      throw ParseError("expected '" + keyword + "' directive", line_no_);
+    return fields;
+  }
+
+  [[nodiscard]] int line() const noexcept { return line_no_; }
+
+ private:
+  std::istream& in_;
+  int line_no_ = 0;
+};
+
+std::size_t parse_size(const std::string& text, int line) {
+  const long value = parse_long(text, line);
+  if (value < 0) throw ParseError("expected a non-negative count", line);
+  return static_cast<std::size_t>(value);
+}
+
+std::uint64_t parse_u64(const std::string& text, int line) {
+  // parse_long is signed; seeds use the full 64-bit range, so parse
+  // unsigned by hand.
+  std::uint64_t value = 0;
+  const auto trimmed = trim(text);
+  if (trimmed.empty())
+    throw ParseError("expected an unsigned integer", line);
+  for (const char c : trimmed) {
+    if (c < '0' || c > '9')
+      throw ParseError("expected an unsigned integer, got '" +
+                           std::string(trimmed) + "'",
+                       line);
+    value = value * 10u + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+void check_arity(const std::vector<std::string>& fields, std::size_t want,
+                 int line) {
+  if (fields.size() != want)
+    throw ParseError("directive '" + fields[0] + "' expects " +
+                         std::to_string(want - 1) + " field(s)",
+                     line);
+}
+
+ModelFidelity parse_fidelity(const std::string& name, int line) {
+  if (name == "simplified") return ModelFidelity::Simplified;
+  if (name == "full") return ModelFidelity::Full;
+  throw ParseError("unknown model fidelity '" + name + "'", line);
+}
+
+ConflictPolicy parse_conflict(const std::string& name, int line) {
+  if (name == "exclude") return ConflictPolicy::Exclude;
+  if (name == "ignore") return ConflictPolicy::Ignore;
+  throw ParseError("unknown conflict policy '" + name + "'", line);
+}
+
+OptimizationGoal parse_goal(const std::string& name, int line) {
+  if (name == to_string(OptimizationGoal::InsertionLoss))
+    return OptimizationGoal::InsertionLoss;
+  if (name == to_string(OptimizationGoal::Snr)) return OptimizationGoal::Snr;
+  throw ParseError("unknown optimization goal '" + name + "'", line);
+}
+
+TopologyKind parse_topology_kind(const std::string& name, int line) {
+  if (name == to_string(TopologyKind::Mesh)) return TopologyKind::Mesh;
+  if (name == to_string(TopologyKind::Torus)) return TopologyKind::Torus;
+  throw ParseError("unknown topology kind '" + name + "'", line);
+}
+
+/// Rest of `line` after the leading keyword (workload names may contain
+/// spaces; everything else on the line is the name).
+std::string rest_after_keyword(const std::string& line,
+                               const std::string& keyword) {
+  const auto pos = line.find(keyword);
+  return std::string(trim(line.substr(pos + keyword.size())));
+}
+
+}  // namespace
+
+// --- spec ------------------------------------------------------------------
+
+void write_spec(std::ostream& out, const SweepSpec& spec) {
+  out << "router " << spec.router << '\n';
+  out << "tile_pitch_mm " << format_double(spec.tile_pitch_mm) << '\n';
+  const auto& p = spec.parameters;
+  out << "parameters";
+  write_doubles(out, {p.crossing_loss_db, p.propagation_loss_db_per_cm,
+                      p.ppse_off_loss_db, p.ppse_on_loss_db,
+                      p.cpse_off_loss_db, p.cpse_on_loss_db,
+                      p.crossing_crosstalk_db, p.pse_off_crosstalk_db,
+                      p.pse_on_crosstalk_db});
+  out << '\n';
+  out << "model " << fidelity_name(spec.model_options.fidelity) << ' '
+      << conflict_name(spec.model_options.conflict_policy) << ' '
+      << format_double(spec.model_options.snr_ceiling_db) << '\n';
+
+  out << "goals " << spec.goals.size();
+  for (const auto goal : spec.goals) out << ' ' << to_string(goal);
+  out << '\n';
+  out << "optimizers " << spec.optimizers.size();
+  for (const auto& name : spec.optimizers) out << ' ' << name;
+  out << '\n';
+  out << "budgets " << spec.budgets.size() << '\n';
+  for (const auto& budget : spec.budgets)
+    out << "budget " << budget.max_evaluations << ' '
+        << format_double(budget.max_seconds) << '\n';
+  out << "seeds " << spec.seeds.size();
+  for (const auto seed : spec.seeds) out << ' ' << seed;
+  out << '\n';
+  out << "topologies " << spec.topologies.size() << '\n';
+  for (const auto& topo : spec.topologies)
+    out << "topology " << to_string(topo.kind) << ' ' << topo.side << '\n';
+  out << "workloads " << spec.workloads.size() << '\n';
+  for (const auto& workload : spec.workloads) {
+    out << "workload " << workload.name << '\n';
+    out << "cg_begin\n";
+    write_cg(out, workload.cg);
+    out << "cg_end\n";
+  }
+  out << "end_spec\n";
+}
+
+namespace {
+
+SweepSpec read_spec_body(LineReader& reader) {
+  SweepSpec spec;
+
+  auto fields = reader.expect("router");
+  check_arity(fields, 2, reader.line());
+  spec.router = fields[1];
+
+  fields = reader.expect("tile_pitch_mm");
+  check_arity(fields, 2, reader.line());
+  spec.tile_pitch_mm = parse_double(fields[1], reader.line());
+
+  fields = reader.expect("parameters");
+  check_arity(fields, 10, reader.line());
+  auto& p = spec.parameters;
+  double* slots[] = {&p.crossing_loss_db,     &p.propagation_loss_db_per_cm,
+                     &p.ppse_off_loss_db,     &p.ppse_on_loss_db,
+                     &p.cpse_off_loss_db,     &p.cpse_on_loss_db,
+                     &p.crossing_crosstalk_db, &p.pse_off_crosstalk_db,
+                     &p.pse_on_crosstalk_db};
+  for (std::size_t i = 0; i < 9; ++i)
+    *slots[i] = parse_double(fields[i + 1], reader.line());
+
+  fields = reader.expect("model");
+  check_arity(fields, 4, reader.line());
+  spec.model_options.fidelity = parse_fidelity(fields[1], reader.line());
+  spec.model_options.conflict_policy = parse_conflict(fields[2],
+                                                      reader.line());
+  spec.model_options.snr_ceiling_db = parse_double(fields[3], reader.line());
+
+  fields = reader.expect("goals");
+  if (fields.size() < 2)
+    throw ParseError("goals directive expects a count", reader.line());
+  check_arity(fields, 2 + parse_size(fields[1], reader.line()),
+              reader.line());
+  for (std::size_t i = 2; i < fields.size(); ++i)
+    spec.goals.push_back(parse_goal(fields[i], reader.line()));
+
+  fields = reader.expect("optimizers");
+  if (fields.size() < 2)
+    throw ParseError("optimizers directive expects a count", reader.line());
+  check_arity(fields, 2 + parse_size(fields[1], reader.line()),
+              reader.line());
+  for (std::size_t i = 2; i < fields.size(); ++i)
+    spec.optimizers.push_back(fields[i]);
+
+  fields = reader.expect("budgets");
+  check_arity(fields, 2, reader.line());
+  const auto budget_count = parse_size(fields[1], reader.line());
+  for (std::size_t i = 0; i < budget_count; ++i) {
+    fields = reader.expect("budget");
+    check_arity(fields, 3, reader.line());
+    OptimizerBudget budget;
+    budget.max_evaluations = parse_u64(fields[1], reader.line());
+    budget.max_seconds = parse_double(fields[2], reader.line());
+    spec.budgets.push_back(budget);
+  }
+
+  fields = reader.expect("seeds");
+  if (fields.size() < 2)
+    throw ParseError("seeds directive expects a count", reader.line());
+  check_arity(fields, 2 + parse_size(fields[1], reader.line()),
+              reader.line());
+  for (std::size_t i = 2; i < fields.size(); ++i)
+    spec.seeds.push_back(parse_u64(fields[i], reader.line()));
+
+  fields = reader.expect("topologies");
+  check_arity(fields, 2, reader.line());
+  const auto topology_count = parse_size(fields[1], reader.line());
+  for (std::size_t i = 0; i < topology_count; ++i) {
+    fields = reader.expect("topology");
+    check_arity(fields, 3, reader.line());
+    SweepTopology topo;
+    topo.kind = parse_topology_kind(fields[1], reader.line());
+    topo.side = static_cast<std::uint32_t>(parse_size(fields[2],
+                                                      reader.line()));
+    spec.topologies.push_back(topo);
+  }
+
+  fields = reader.expect("workloads");
+  check_arity(fields, 2, reader.line());
+  const auto workload_count = parse_size(fields[1], reader.line());
+  for (std::size_t i = 0; i < workload_count; ++i) {
+    const auto line = reader.require_line("workload", true);
+    if (split_ws(line).empty() || split_ws(line)[0] != "workload")
+      throw ParseError("expected 'workload' directive", reader.line());
+    const auto name = rest_after_keyword(line, "workload");
+    if (name.empty())
+      throw ParseError("workload directive expects a name", reader.line());
+    fields = reader.expect("cg_begin");
+    check_arity(fields, 1, reader.line());
+    // Collect the embedded CG verbatim up to the fence and hand it to
+    // the cg_io parser (which owns the format).
+    std::ostringstream cg_text;
+    for (;;) {
+      const auto cg_line = reader.require_line("embedded CG");
+      if (split_ws(cg_line)[0] == "cg_end") break;
+      cg_text << cg_line << '\n';
+    }
+    std::istringstream cg_in(cg_text.str());
+    spec.add_workload(name, read_cg(cg_in));
+  }
+
+  fields = reader.expect("end_spec");
+  check_arity(fields, 1, reader.line());
+  return spec;
+}
+
+}  // namespace
+
+SweepSpec read_spec(std::istream& in) {
+  LineReader reader(in);
+  if (trim(reader.require_line("shard magic")) != kShardMagic)
+    throw ParseError(std::string("stream does not start with '") +
+                     kShardMagic + "'");
+  return read_spec_body(reader);
+}
+
+// --- shard -----------------------------------------------------------------
+
+void write_shard(std::ostream& out, const SweepShard& shard) {
+  out << kShardMagic << '\n';
+  write_spec(out, shard.spec);
+  out << "evaluator " << shard.evaluator.cache_capacity << ' '
+      << (shard.evaluator.incremental ? 1 : 0) << '\n';
+  out << "slice " << shard.begin << ' ' << shard.end << '\n';
+  out << "end_shard\n";
+}
+
+SweepShard read_shard(std::istream& in) {
+  LineReader reader(in);
+  if (trim(reader.require_line("shard magic")) != kShardMagic)
+    throw ParseError(std::string("stream does not start with '") +
+                     kShardMagic + "'");
+  SweepShard shard;
+  shard.spec = read_spec_body(reader);
+
+  auto fields = reader.expect("evaluator");
+  check_arity(fields, 3, reader.line());
+  shard.evaluator.cache_capacity = parse_size(fields[1], reader.line());
+  shard.evaluator.incremental = parse_size(fields[2], reader.line()) != 0;
+
+  fields = reader.expect("slice");
+  check_arity(fields, 3, reader.line());
+  shard.begin = parse_size(fields[1], reader.line());
+  shard.end = parse_size(fields[2], reader.line());
+  if (shard.begin > shard.end)
+    throw ParseError("slice begin exceeds end", reader.line());
+
+  fields = reader.expect("end_shard");
+  check_arity(fields, 1, reader.line());
+  return shard;
+}
+
+// --- spec magic note -------------------------------------------------------
+// write_spec intentionally has no magic of its own: it only ever appears
+// inside a shard (or a caller-framed stream), and read_spec accepts the
+// shard magic so a spec-only file can be produced by hand if needed.
+
+// --- cell results ----------------------------------------------------------
+
+void write_cell_result(std::ostream& out, const CellResult& result) {
+  out << kCellMagic << '\n';
+  const auto& c = result.cell;
+  out << "cell " << c.index << ' ' << c.workload << ' ' << c.topology << ' '
+      << c.goal << ' ' << c.optimizer << ' ' << c.budget << ' ' << c.seed
+      << '\n';
+  out << "seed " << result.seed << '\n';
+  out << "seconds " << format_double(result.seconds) << '\n';
+  if (result.status == CellStatus::Failed) {
+    // The error message is free text: keep it on one line.
+    std::string message = result.error;
+    for (auto& ch : message)
+      if (ch == '\n' || ch == '\r') ch = ' ';
+    out << "failed " << message << '\n';
+    out << "end_cell\n";
+    return;
+  }
+  out << "algorithm " << result.run.algorithm << '\n';
+  const auto& s = result.run.search;
+  out << "mapping " << s.best.tile_count() << ' ' << s.best.task_count();
+  for (const auto tile : s.best.assignment()) out << ' ' << tile;
+  out << '\n';
+  out << "search " << format_double(s.best_fitness) << ' ' << s.evaluations
+      << ' ' << s.iterations << ' ' << format_double(s.seconds) << '\n';
+  out << "trace " << s.trace.size() << '\n';
+  for (const auto& event : s.trace)
+    out << "t " << event.evaluation << ' ' << format_double(event.fitness)
+        << '\n';
+  const auto& e = result.run.best_evaluation;
+  out << "evaluation " << format_double(e.worst_loss_db) << ' '
+      << format_double(e.worst_snr_db) << '\n';
+  out << "edges " << e.edges.size() << '\n';
+  for (const auto& edge : e.edges) {
+    out << "e " << edge.edge << ' ' << edge.src_tile << ' ' << edge.dst_tile;
+    write_doubles(out, {edge.loss_db, edge.signal_gain, edge.noise_gain,
+                        edge.snr_db});
+    out << '\n';
+  }
+  out << "end_cell\n";
+}
+
+std::optional<CellResult> read_cell_result(std::istream& in) {
+  LineReader reader(in);
+  const auto magic = reader.next();
+  if (!magic) return std::nullopt;  // clean end of stream
+  if (trim(*magic) != kCellMagic)
+    throw ParseError("expected '" + std::string(kCellMagic) + "', got '" +
+                         std::string(trim(*magic)) + "'",
+                     reader.line());
+
+  CellResult result;
+  auto fields = reader.expect("cell");
+  check_arity(fields, 8, reader.line());
+  result.cell.index = parse_size(fields[1], reader.line());
+  result.cell.workload = parse_size(fields[2], reader.line());
+  result.cell.topology = parse_size(fields[3], reader.line());
+  result.cell.goal = parse_size(fields[4], reader.line());
+  result.cell.optimizer = parse_size(fields[5], reader.line());
+  result.cell.budget = parse_size(fields[6], reader.line());
+  result.cell.seed = parse_size(fields[7], reader.line());
+
+  fields = reader.expect("seed");
+  check_arity(fields, 2, reader.line());
+  result.seed = parse_u64(fields[1], reader.line());
+
+  fields = reader.expect("seconds");
+  check_arity(fields, 2, reader.line());
+  result.seconds = parse_double(fields[1], reader.line());
+
+  const auto status_line = reader.require_line("cell status", true);
+  const auto status_fields = split_ws(status_line);
+  if (status_fields[0] == "failed") {
+    result.status = CellStatus::Failed;
+    result.error = rest_after_keyword(status_line, "failed");
+    fields = reader.expect("end_cell");
+    check_arity(fields, 1, reader.line());
+    return result;
+  }
+  if (status_fields[0] != "algorithm")
+    throw ParseError("expected 'algorithm' or 'failed' directive",
+                     reader.line());
+  check_arity(status_fields, 2, reader.line());
+  result.run.algorithm = status_fields[1];
+
+  fields = reader.expect("mapping");
+  if (fields.size() < 3)
+    throw ParseError("mapping directive expects tiles + tasks", reader.line());
+  const auto tiles = parse_size(fields[1], reader.line());
+  const auto tasks = parse_size(fields[2], reader.line());
+  check_arity(fields, 3 + tasks, reader.line());
+  std::vector<TileId> assignment;
+  assignment.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i)
+    assignment.push_back(
+        static_cast<TileId>(parse_size(fields[3 + i], reader.line())));
+  result.run.search.best = Mapping::from_assignment(std::move(assignment),
+                                                    tiles);
+
+  fields = reader.expect("search");
+  check_arity(fields, 5, reader.line());
+  result.run.search.best_fitness = parse_double(fields[1], reader.line());
+  result.run.search.evaluations = parse_u64(fields[2], reader.line());
+  result.run.search.iterations = parse_u64(fields[3], reader.line());
+  result.run.search.seconds = parse_double(fields[4], reader.line());
+
+  fields = reader.expect("trace");
+  check_arity(fields, 2, reader.line());
+  const auto trace_count = parse_size(fields[1], reader.line());
+  result.run.search.trace.reserve(trace_count);
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    fields = reader.expect("t");
+    check_arity(fields, 3, reader.line());
+    result.run.search.trace.push_back(
+        {parse_u64(fields[1], reader.line()),
+         parse_double(fields[2], reader.line())});
+  }
+
+  fields = reader.expect("evaluation");
+  check_arity(fields, 3, reader.line());
+  result.run.best_evaluation.worst_loss_db = parse_double(fields[1],
+                                                          reader.line());
+  result.run.best_evaluation.worst_snr_db = parse_double(fields[2],
+                                                         reader.line());
+
+  fields = reader.expect("edges");
+  check_arity(fields, 2, reader.line());
+  const auto edge_count = parse_size(fields[1], reader.line());
+  result.run.best_evaluation.edges.reserve(edge_count);
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    fields = reader.expect("e");
+    check_arity(fields, 8, reader.line());
+    EdgeMetrics edge;
+    edge.edge = static_cast<EdgeId>(parse_size(fields[1], reader.line()));
+    edge.src_tile = static_cast<TileId>(parse_size(fields[2], reader.line()));
+    edge.dst_tile = static_cast<TileId>(parse_size(fields[3], reader.line()));
+    edge.loss_db = parse_double(fields[4], reader.line());
+    edge.signal_gain = parse_double(fields[5], reader.line());
+    edge.noise_gain = parse_double(fields[6], reader.line());
+    edge.snr_db = parse_double(fields[7], reader.line());
+    result.run.best_evaluation.edges.push_back(edge);
+  }
+
+  fields = reader.expect("end_cell");
+  check_arity(fields, 1, reader.line());
+  return result;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,58 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Wire format for sweep shards and cell results.
+///
+/// A line-oriented, '#'-commentable text protocol that round-trips the
+/// full `SweepSpec -> CellResult` contract across a process (or host)
+/// boundary: the spec with its embedded CG workloads (reusing the
+/// `io/cg_io` format between `cg_begin`/`cg_end` fences), physical
+/// parameters, model options, a contiguous cell-index slice, and the
+/// complete per-cell outcome (mapping, fitness, trace, per-edge
+/// metrics). Every floating-point field is written with
+/// `format_double` (max_digits10) and parsed with `from_chars`, so a
+/// round trip is bit-exact — the fork/exec backend's results are
+/// bit-identical to the in-process backend's, as `tests/test_exec.cpp`
+/// asserts.
+///
+/// Versioning: streams start with `phonoc-shard v1` / `phonoc-cell v1`
+/// magic; readers reject anything else, so protocol evolution is an
+/// explicit version bump rather than a silent drift.
+
+#include <iosfwd>
+#include <optional>
+
+#include "exec/batch_engine.hpp"
+#include "exec/sweep.hpp"
+
+namespace phonoc {
+
+/// A contiguous slice [begin, end) of one spec's expand() output, plus
+/// the evaluator knobs the owning BatchEngine would have used. This is
+/// the unit of work a worker process (or a remote host) receives.
+struct SweepShard {
+  SweepSpec spec;
+  std::size_t begin = 0;  ///< first grid index of the slice
+  std::size_t end = 0;    ///< one past the last grid index
+  EvaluatorOptions evaluator{};
+};
+
+/// Serialize a spec (workloads embedded via io/cg_io). Workload and
+/// optimizer/router names must be single-line; CG task names must be
+/// whitespace-free (the cg_io format already requires this).
+void write_spec(std::ostream& out, const SweepSpec& spec);
+[[nodiscard]] SweepSpec read_spec(std::istream& in);
+
+void write_shard(std::ostream& out, const SweepShard& shard);
+[[nodiscard]] SweepShard read_shard(std::istream& in);
+
+/// One cell outcome as a self-delimited block (`phonoc-cell v1` ...
+/// `end_cell`). Failed cells carry only coordinates, seed and the error
+/// message; Ok cells carry the full RunResult.
+void write_cell_result(std::ostream& out, const CellResult& result);
+
+/// Read the next cell block. Returns nullopt on clean end-of-stream
+/// (EOF before a block starts); throws ParseError on a malformed or
+/// truncated block (e.g. the producer died mid-write).
+[[nodiscard]] std::optional<CellResult> read_cell_result(std::istream& in);
+
+}  // namespace phonoc

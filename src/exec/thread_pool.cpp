@@ -35,7 +35,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_)
-      throw ExecError("ThreadPool::submit after shutdown");
+      throw ExecError("ThreadPool::enqueue: task submitted after shutdown");
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();

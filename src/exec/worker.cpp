@@ -1,0 +1,80 @@
+#include "exec/worker.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "exec/serialize.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+namespace {
+
+/// Grid index the crash-injection hook targets, or -1.
+long crash_index_from_env() {
+  const char* text = std::getenv("PHONOC_WORKER_CRASH_INDEX");
+  if (!text || !*text) return -1;
+  try {
+    return parse_long(text);
+  } catch (const ParseError&) {
+    return -1;
+  }
+}
+
+}  // namespace
+
+int worker_main(std::istream& in, std::ostream& out) {
+  try {
+    const SweepShard shard = read_shard(in);
+    const auto cells = expand(shard.spec);
+    if (shard.end > cells.size()) {
+      std::cerr << "phonoc_worker: slice [" << shard.begin << ", "
+                << shard.end << ") exceeds the grid size " << cells.size()
+                << '\n';
+      return 2;
+    }
+
+    // Same problem construction and per-cell execution as the
+    // in-process backend — this is what keeps the backends
+    // bit-identical. Only the slice's cells are passed, so the worker
+    // builds only the networks it needs.
+    const std::vector<SweepCell> slice(cells.begin() + shard.begin,
+                                       cells.begin() + shard.end);
+    const auto problems = build_sweep_problems(shard.spec, slice);
+    const long crash_index = crash_index_from_env();
+
+    for (const auto& cell : slice) {
+      if (crash_index >= 0 &&
+          cell.index == static_cast<std::size_t>(crash_index)) {
+        // Crash injection: die the hard way, mid-slice, results already
+        // emitted staying valid (out was flushed after each block).
+        std::cerr << "phonoc_worker: injected crash at cell " << cell.index
+                  << '\n';
+        std::abort();
+      }
+      CellResult result;
+      try {
+        const auto& problem = *problems.at(
+            SweepProblemKey{cell.workload, cell.topology, cell.goal});
+        result = run_sweep_cell(shard.spec, cell, problem, shard.evaluator);
+      } catch (const std::exception& e) {
+        // Isolate the failing cell instead of losing the slice.
+        result = CellResult{};
+        result.cell = cell;
+        result.seed = shard.spec.seeds[cell.seed];
+        result.status = CellStatus::Failed;
+        result.error = e.what();
+      }
+      write_cell_result(out, result);
+      out.flush();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "phonoc_worker: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace phonoc

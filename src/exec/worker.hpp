@@ -1,0 +1,30 @@
+#pragma once
+/// \file worker.hpp
+/// \brief The `phonoc_worker` process body.
+///
+/// A worker reads one serialized SweepShard (see exec/serialize.hpp)
+/// from `in`, executes the shard's cell slice in grid order with the
+/// same `build_sweep_problems` / `run_sweep_cell` code path the
+/// in-process backend uses, and streams one self-delimited cell-result
+/// block to `out` per finished cell (flushed immediately, so a later
+/// crash loses only the unfinished cells). A cell whose optimizer
+/// throws is reported as a Failed cell block — crash isolation starts
+/// inside the worker — while hard crashes (abort/segfault) surface to
+/// the parent as a dead process.
+///
+/// Test hook: when the PHONOC_WORKER_CRASH_INDEX environment variable
+/// is set, the worker calls std::abort() instead of executing the cell
+/// with that grid index. The fork/exec backend's recovery path (mark
+/// the crashed cell failed, respawn for the remainder) is exercised in
+/// tests and in CI's crash-injection smoke job through this hook.
+
+#include <iosfwd>
+
+namespace phonoc {
+
+/// Run the worker protocol; returns a process exit code (0 = the whole
+/// slice was processed and emitted). Errors of the protocol layer
+/// itself (bad shard, I/O failure) are reported on stderr.
+int worker_main(std::istream& in, std::ostream& out);
+
+}  // namespace phonoc

@@ -64,9 +64,11 @@ void write_cg(std::ostream& out, const CommGraph& cg) {
   out << "cg " << cg.name() << '\n';
   for (NodeId t = 0; t < cg.task_count(); ++t)
     out << "task " << cg.task_name(t) << '\n';
+  // format_double (max_digits10) so bandwidths survive a write/read
+  // round trip bit-exactly; the worker wire protocol relies on this.
   for (const auto& e : cg.edges())
     out << "edge " << cg.task_name(e.src) << ' ' << cg.task_name(e.dst) << ' '
-        << e.bandwidth_mbps << '\n';
+        << format_double(e.bandwidth_mbps) << '\n';
 }
 
 void write_cg_file(const std::string& path, const CommGraph& cg) {

@@ -1,20 +1,29 @@
 // Tests of the parallel batch-exploration subsystem: thread pool
-// semantics, sweep grid expansion, aggregation, and — the load-bearing
-// property — bit-identical results across worker counts.
+// semantics, sweep grid expansion, aggregation, shard serialization,
+// the fork/exec worker backend (bit-identity + crash isolation), and —
+// the load-bearing property — bit-identical results across worker
+// counts.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
 #include "core/engine.hpp"
 #include "exec/aggregate.hpp"
 #include "exec/batch_engine.hpp"
+#include "exec/fork_exec.hpp"
+#include "exec/serialize.hpp"
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/error.hpp"
 #include "workloads/generator.hpp"
+
+#ifndef PHONOC_WORKER_PATH
+#define PHONOC_WORKER_PATH "phonoc_worker"
+#endif
 
 namespace phonoc {
 namespace {
@@ -224,6 +233,341 @@ TEST(Aggregate, AddRejectsForeignCellsAndCsvHasHeaderAndRows) {
   std::istringstream in(csv.str());
   while (std::getline(in, line)) ++lines;
   EXPECT_EQ(lines, 1 + report.cells.size());
+}
+
+// --- wire-format round trips -----------------------------------------------
+
+SweepSpec wire_spec() {
+  SweepSpec spec;
+  // A workload name with a space and the comment character: both must
+  // round-trip verbatim (the name is the rest of the directive line).
+  spec.add_workload("p4 #1", pipeline_cg(4))
+      .add_workload("r6", random_cg({.tasks = 6,
+                                     .avg_out_degree = 1.5,
+                                     .min_bandwidth = 8,
+                                     .max_bandwidth = 128,
+                                     .seed = 11,
+                                     .acyclic = false}))
+      .add_topology(TopologyKind::Mesh)
+      .add_topology(TopologyKind::Torus, 3)
+      .add_goal(OptimizationGoal::Snr)
+      .add_goal(OptimizationGoal::InsertionLoss)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(40)
+      .add_budget(60, 0.125)
+      .add_seed(3)
+      .add_seed(21);
+  spec.tile_pitch_mm = 2.2501;
+  spec.parameters.crossing_loss_db = -0.0431;
+  spec.parameters.pse_on_crosstalk_db = -24.7;
+  spec.model_options.fidelity = ModelFidelity::Full;
+  spec.model_options.conflict_policy = ConflictPolicy::Ignore;
+  spec.model_options.snr_ceiling_db = 180.25;
+  return spec;
+}
+
+TEST(Serialize, ShardRoundTripsEveryField) {
+  SweepShard shard;
+  shard.spec = wire_spec();
+  shard.begin = 7;
+  shard.end = 23;
+  shard.evaluator = {.cache_capacity = 99, .incremental = false};
+  std::ostringstream out;
+  write_shard(out, shard);
+  std::istringstream in(out.str());
+  const auto parsed = read_shard(in);
+
+  EXPECT_EQ(parsed.begin, 7u);
+  EXPECT_EQ(parsed.end, 23u);
+  EXPECT_EQ(parsed.evaluator.cache_capacity, 99u);
+  EXPECT_FALSE(parsed.evaluator.incremental);
+  const auto& a = shard.spec;
+  const auto& b = parsed.spec;
+  EXPECT_EQ(b.router, a.router);
+  EXPECT_EQ(b.tile_pitch_mm, a.tile_pitch_mm);  // bitwise
+  EXPECT_EQ(b.parameters.crossing_loss_db, a.parameters.crossing_loss_db);
+  EXPECT_EQ(b.parameters.pse_on_crosstalk_db,
+            a.parameters.pse_on_crosstalk_db);
+  EXPECT_EQ(b.parameters.propagation_loss_db_per_cm,
+            a.parameters.propagation_loss_db_per_cm);
+  EXPECT_EQ(b.model_options.fidelity, a.model_options.fidelity);
+  EXPECT_EQ(b.model_options.conflict_policy, a.model_options.conflict_policy);
+  EXPECT_EQ(b.model_options.snr_ceiling_db, a.model_options.snr_ceiling_db);
+  ASSERT_EQ(b.goals, a.goals);
+  ASSERT_EQ(b.optimizers, a.optimizers);
+  ASSERT_EQ(b.seeds, a.seeds);
+  ASSERT_EQ(b.budgets.size(), a.budgets.size());
+  for (std::size_t i = 0; i < a.budgets.size(); ++i) {
+    EXPECT_EQ(b.budgets[i].max_evaluations, a.budgets[i].max_evaluations);
+    EXPECT_EQ(b.budgets[i].max_seconds, a.budgets[i].max_seconds);
+  }
+  ASSERT_EQ(b.topologies.size(), a.topologies.size());
+  for (std::size_t i = 0; i < a.topologies.size(); ++i) {
+    EXPECT_EQ(b.topologies[i].kind, a.topologies[i].kind);
+    EXPECT_EQ(b.topologies[i].side, a.topologies[i].side);
+  }
+  ASSERT_EQ(b.workloads.size(), a.workloads.size());
+  for (std::size_t i = 0; i < a.workloads.size(); ++i) {
+    EXPECT_EQ(b.workloads[i].name, a.workloads[i].name);
+    ASSERT_EQ(b.workloads[i].cg.task_count(), a.workloads[i].cg.task_count());
+    const auto ea = a.workloads[i].cg.edges();
+    const auto eb = b.workloads[i].cg.edges();
+    ASSERT_EQ(eb.size(), ea.size());
+    for (std::size_t e = 0; e < ea.size(); ++e) {
+      EXPECT_EQ(eb[e].src, ea[e].src);
+      EXPECT_EQ(eb[e].dst, ea[e].dst);
+      EXPECT_EQ(eb[e].bandwidth_mbps, ea[e].bandwidth_mbps);  // bitwise
+    }
+  }
+  // The grid the receiver expands is the same grid.
+  EXPECT_EQ(cell_count(b), cell_count(a));
+}
+
+TEST(Serialize, CellResultRoundTripsBitForBit) {
+  SweepSpec spec;
+  spec.add_workload("w", pipeline_cg(4))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizer("rpbla")
+      .add_budget(60)
+      .add_seed(5);
+  const auto results = BatchEngine({.workers = 1}).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+
+  std::ostringstream out;
+  write_cell_result(out, results[0]);
+  std::istringstream in(out.str());
+  const auto parsed = read_cell_result(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, CellStatus::Ok);
+  EXPECT_EQ(parsed->cell.index, results[0].cell.index);
+  EXPECT_EQ(parsed->seed, results[0].seed);
+  EXPECT_EQ(parsed->seconds, results[0].seconds);  // bitwise
+  EXPECT_EQ(parsed->run.algorithm, results[0].run.algorithm);
+  EXPECT_TRUE(parsed->run.search.best == results[0].run.search.best);
+  EXPECT_EQ(parsed->run.search.best_fitness,
+            results[0].run.search.best_fitness);
+  EXPECT_EQ(parsed->run.search.evaluations, results[0].run.search.evaluations);
+  ASSERT_EQ(parsed->run.search.trace.size(),
+            results[0].run.search.trace.size());
+  for (std::size_t i = 0; i < parsed->run.search.trace.size(); ++i) {
+    EXPECT_EQ(parsed->run.search.trace[i].evaluation,
+              results[0].run.search.trace[i].evaluation);
+    EXPECT_EQ(parsed->run.search.trace[i].fitness,
+              results[0].run.search.trace[i].fitness);
+  }
+  ASSERT_EQ(parsed->run.best_evaluation.edges.size(),
+            results[0].run.best_evaluation.edges.size());
+  for (std::size_t i = 0; i < parsed->run.best_evaluation.edges.size(); ++i) {
+    const auto& pe = parsed->run.best_evaluation.edges[i];
+    const auto& re = results[0].run.best_evaluation.edges[i];
+    EXPECT_EQ(pe.edge, re.edge);
+    EXPECT_EQ(pe.src_tile, re.src_tile);
+    EXPECT_EQ(pe.dst_tile, re.dst_tile);
+    EXPECT_EQ(pe.loss_db, re.loss_db);
+    EXPECT_EQ(pe.signal_gain, re.signal_gain);
+    EXPECT_EQ(pe.noise_gain, re.noise_gain);
+    EXPECT_EQ(pe.snr_db, re.snr_db);
+  }
+
+  // End of stream is a clean nullopt, not an error.
+  EXPECT_FALSE(read_cell_result(in).has_value());
+}
+
+TEST(Serialize, FailedCellRoundTripsAndTornBlocksThrow) {
+  CellResult failed;
+  failed.cell = {.index = 42, .workload = 1, .topology = 0, .goal = 1,
+                 .optimizer = 0, .budget = 1, .seed = 1};
+  failed.seed = 21;
+  failed.status = CellStatus::Failed;
+  // '#' is the wire format's comment character: free-text payloads must
+  // survive it anyway.
+  failed.error = "worker killed by signal 6 (Aborted) #core dumped";
+  std::ostringstream out;
+  write_cell_result(out, failed);
+  std::istringstream in(out.str());
+  const auto parsed = read_cell_result(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, CellStatus::Failed);
+  EXPECT_EQ(parsed->cell.index, 42u);
+  EXPECT_EQ(parsed->seed, 21u);
+  EXPECT_EQ(parsed->error, failed.error);
+
+  // A block truncated mid-write (as a crashing worker leaves behind)
+  // throws ParseError instead of yielding a half-filled result.
+  const auto text = out.str();
+  std::istringstream torn(text.substr(0, text.size() / 2));
+  EXPECT_THROW((void)read_cell_result(torn), ParseError);
+}
+
+// --- fork/exec worker backend ----------------------------------------------
+
+/// Scoped PHONOC_WORKER_CRASH_INDEX (the worker's crash-injection hook).
+class ScopedCrashIndex {
+ public:
+  explicit ScopedCrashIndex(std::size_t index) {
+    ::setenv("PHONOC_WORKER_CRASH_INDEX", std::to_string(index).c_str(), 1);
+  }
+  ~ScopedCrashIndex() { ::unsetenv("PHONOC_WORKER_CRASH_INDEX"); }
+};
+
+void expect_identical(const RunResult& a, const RunResult& b);
+
+TEST(ForkExec, MatchesInProcessBitForBitOn64Cells) {
+  auto spec = wire_spec();  // 2^6 dimensions = 64 cells
+  // Evaluation-count budgets only: the determinism contract excludes
+  // wall-clock caps, and this test must never flake under load.
+  spec.budgets[1].max_seconds = 0.0;
+  ASSERT_GE(cell_count(spec), 64u);
+  const auto reference = BatchEngine({.workers = 2}).run(spec);
+  const auto forked = BatchEngine({.workers = 4,
+                                   .backend = BatchBackend::ForkExec,
+                                   .worker_path = PHONOC_WORKER_PATH})
+                          .run(spec);
+  ASSERT_EQ(forked.size(), reference.size());
+  for (std::size_t i = 0; i < forked.size(); ++i) {
+    ASSERT_EQ(forked[i].status, CellStatus::Ok) << forked[i].error;
+    EXPECT_EQ(forked[i].cell.index, i);
+    EXPECT_EQ(forked[i].seed, reference[i].seed);
+    expect_identical(forked[i].run, reference[i].run);
+  }
+  // The aggregated SweepReports agree on every non-timing statistic.
+  const auto want = SweepReport::build(spec, reference);
+  const auto got = SweepReport::build(spec, forked);
+  ASSERT_EQ(got.cells.size(), want.cells.size());
+  EXPECT_EQ(got.run_count, want.run_count);
+  EXPECT_EQ(got.failed_count, 0u);
+  for (std::size_t i = 0; i < got.cells.size(); ++i) {
+    for (const auto member : {&AggregateCell::best_fitness,
+                              &AggregateCell::worst_loss_db,
+                              &AggregateCell::worst_snr_db,
+                              &AggregateCell::evaluations}) {
+      const auto& g = got.cells[i].*member;
+      const auto& w = want.cells[i].*member;
+      EXPECT_EQ(g.count(), w.count());
+      EXPECT_EQ(g.mean(), w.mean());      // bitwise
+      EXPECT_EQ(g.min(), w.min());
+      EXPECT_EQ(g.max(), w.max());
+      EXPECT_EQ(g.stddev(), w.stddev());
+    }
+  }
+}
+
+TEST(ForkExec, InjectedCrashFailsOnlyThatCell) {
+  auto spec = wire_spec();
+  spec.budgets[1].max_seconds = 0.0;  // keep the grid deterministic
+  const std::size_t crash_index = 10;
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+  const ScopedCrashIndex scoped(crash_index);
+  const auto forked = BatchEngine({.workers = 4,
+                                   .backend = BatchBackend::ForkExec,
+                                   .worker_path = PHONOC_WORKER_PATH})
+                          .run(spec);
+  ASSERT_EQ(forked.size(), reference.size());
+  for (std::size_t i = 0; i < forked.size(); ++i) {
+    if (i == crash_index) {
+      EXPECT_EQ(forked[i].status, CellStatus::Failed);
+      EXPECT_NE(forked[i].error.find("signal"), std::string::npos)
+          << forked[i].error;
+      // Coordinates and seed survive so the failure is attributable.
+      EXPECT_EQ(forked[i].cell.index, crash_index);
+      EXPECT_EQ(forked[i].seed, spec.seeds[forked[i].cell.seed]);
+    } else {
+      ASSERT_EQ(forked[i].status, CellStatus::Ok)
+          << "cell " << i << ": " << forked[i].error;
+      expect_identical(forked[i].run, reference[i].run);
+    }
+  }
+  const auto report = SweepReport::build(spec, forked);
+  EXPECT_EQ(report.failed_count, 1u);
+  EXPECT_EQ(report.run_count, forked.size() - 1);
+}
+
+TEST(ForkExec, MissingWorkerBinaryFailsFast) {
+  SweepSpec spec;
+  spec.add_workload("w", pipeline_cg(4))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizer("rs")
+      .add_budget(10)
+      .add_seed(1);
+  EXPECT_THROW((void)BatchEngine(
+                   {.workers = 1,
+                    .backend = BatchBackend::ForkExec,
+                    .worker_path = "/nonexistent/phonoc_worker"})
+                   .run(spec),
+               ExecError);
+}
+
+// --- the network problem cache ---------------------------------------------
+
+TEST(BatchEngine, NetworkCacheIsWorkloadIndependent) {
+  // build_sweep_problems keys shared networks on {resolved side,
+  // topology index} and builds each network from whichever workload
+  // reaches it first. This is sound because a network never depends on
+  // the workload beyond its resolved side: two different 6-task
+  // workloads sharing an auto-sized topology must produce cells
+  // bit-identical to runs on per-cell fresh networks.
+  SweepSpec spec;
+  spec.add_workload("p6", pipeline_cg(6))
+      .add_workload("r6", random_cg({.tasks = 6,
+                                     .avg_out_degree = 1.8,
+                                     .seed = 23,
+                                     .acyclic = false}))
+      .add_topology(TopologyKind::Mesh)  // auto side: 3x3 for both
+      .add_topology(TopologyKind::Torus)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(50)
+      .add_seed(9);
+  ASSERT_EQ(resolved_side(spec, 0, 0), resolved_side(spec, 1, 0));
+  const auto cached = BatchEngine({.workers = 1}).run(spec);
+  for (const auto& cell : expand(spec)) {
+    // Fresh network for every cell: no sharing at all.
+    const auto fresh_problem = make_problem(spec, cell, nullptr);
+    const auto fresh = run_sweep_cell(spec, cell, fresh_problem, {});
+    expect_identical(cached[cell.index].run, fresh.run);
+  }
+}
+
+// --- failed cells in aggregation -------------------------------------------
+
+TEST(Aggregate, FailedCellsAreCountedButExcludedFromStats) {
+  const auto spec = tiny_spec();
+  auto results = BatchEngine({.workers = 1}).run(spec);
+  const auto clean = SweepReport::build(spec, results, 1.5);
+  EXPECT_EQ(clean.wall_seconds, 1.5);
+  EXPECT_EQ(clean.failed_count, 0u);
+
+  // Kill one seed of the first coordinate.
+  results[0].status = CellStatus::Failed;
+  results[0].error = "injected";
+  const auto report = SweepReport::build(spec, results, 1.5);
+  EXPECT_EQ(report.failed_count, 1u);
+  EXPECT_EQ(report.run_count, results.size() - 1);
+  EXPECT_EQ(report.cells.front().best_fitness.count(),
+            spec.seeds.size() - 1);
+  // cpu_seconds only sums successful cells.
+  EXPECT_NEAR(report.cpu_seconds + results[0].seconds, clean.cpu_seconds,
+              1e-12);
+
+  // Merge accumulates both counters and both clocks.
+  auto merged = SweepReport::build(spec, results, 2.0);
+  merged.merge(report);
+  EXPECT_EQ(merged.failed_count, 2u);
+  EXPECT_EQ(merged.wall_seconds, 3.5);
+
+  // A coordinate whose every seed failed still gets a report row (0
+  // runs), so rows stay aligned with the grid.
+  for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+    results[s].status = CellStatus::Failed;
+    results[s].error = "injected";
+  }
+  const auto all_failed = SweepReport::build(spec, results);
+  EXPECT_EQ(all_failed.cells.size(), clean.cells.size());
+  EXPECT_EQ(all_failed.cells.front().best_fitness.count(), 0u);
+  EXPECT_EQ(all_failed.failed_count, spec.seeds.size());
+  EXPECT_EQ(all_failed.to_table().row_count(), clean.cells.size());
 }
 
 // --- the determinism property ---------------------------------------------

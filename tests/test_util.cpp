@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 #include <set>
+#include <tuple>
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -184,6 +185,42 @@ TEST(RunningStats, EmptyAndSingle) {
   EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStats, OneSidedMergesAreExact) {
+  RunningStats filled;
+  filled.add(-3.0);
+  filled.add(7.5);
+  filled.add(1.25);
+
+  // empty.merge(filled) adopts the filled side bit-for-bit.
+  RunningStats empty_into;
+  empty_into.merge(filled);
+  EXPECT_EQ(empty_into.count(), filled.count());
+  EXPECT_EQ(empty_into.mean(), filled.mean());
+  EXPECT_EQ(empty_into.variance(), filled.variance());
+  EXPECT_EQ(empty_into.min(), filled.min());
+  EXPECT_EQ(empty_into.max(), filled.max());
+
+  // filled.merge(empty) is a no-op — in particular the sentinel 0s of
+  // the empty side must not leak into min/max or the mean.
+  RunningStats into_filled = filled;
+  into_filled.merge(RunningStats{});
+  EXPECT_EQ(into_filled.count(), filled.count());
+  EXPECT_EQ(into_filled.mean(), filled.mean());
+  EXPECT_EQ(into_filled.variance(), filled.variance());
+  EXPECT_EQ(into_filled.min(), -3.0);
+  EXPECT_EQ(into_filled.max(), 7.5);
+}
+
 TEST(Histogram, BinningAndProbability) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 10; ++i) h.add(i + 0.5);
@@ -206,6 +243,36 @@ TEST(Histogram, UnderOverflow) {
   EXPECT_EQ(h.overflow(), 2u);
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, HiBoundaryIsExclusiveEvenForNonRepresentableWidths) {
+  // 0.3 and 0.1 are not exactly representable: exactly the situation
+  // where value >= hi_ and the bin arithmetic can disagree.
+  Histogram h(0.0, 0.3, 3);
+  h.add(0.3);  // == hi: overflow, never bin 2
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  h.add(std::nextafter(0.3, 0.0));  // just below hi: last bin
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, FpEdgeGuardClampsIndexIntoTheLastBin) {
+  // For values just below hi, (value - lo) / bin_width can round up to
+  // exactly `bins`; the guard must clamp the index instead of writing
+  // one past the counts array. Sweep many awkward ranges so at least
+  // some hit the rounding case; all must land in the last bin.
+  for (const auto [lo, hi, bins] : {std::tuple{0.0, 0.7, std::size_t{7}},
+                                    std::tuple{-1.1, 1.3, std::size_t{49}},
+                                    std::tuple{0.0, 1.0, std::size_t{3}},
+                                    std::tuple{2.5, 9.1, std::size_t{11}}}) {
+    Histogram h(lo, hi, bins);
+    const double below = std::nextafter(hi, lo);
+    h.add(below);
+    EXPECT_EQ(h.overflow(), 0u) << lo << ' ' << hi << ' ' << bins;
+    EXPECT_EQ(h.count(bins - 1), 1u) << lo << ' ' << hi << ' ' << bins;
+    EXPECT_EQ(h.total(), 1u);
+  }
 }
 
 TEST(Histogram, BinEdges) {
