@@ -13,6 +13,8 @@
 /// --workers=N pool size for the parallel pass (default all threads),
 /// --fork=1 adds a fork/exec worker-process pass (spawn + wire-protocol
 /// overhead, bit-identity across the process boundary),
+/// --remote=N adds a distributed-scheduler pass over N loopback workers
+/// (framing + scheduling overhead, bit-identity through src/sched/),
 /// --csv=FILE dump the aggregated report.
 
 #include <fstream>
@@ -100,6 +102,34 @@ int main(int argc, char** argv) {
                                        : " (BUG)")
               << '\n';
     mismatches += fork_mismatches;
+  }
+
+  // Optional fourth pass: the distributed scheduler over an in-process
+  // loopback fleet. Measures the framing + scheduling overhead of
+  // src/sched/ and re-checks bit-identity through the full remote path
+  // (frames, retry bookkeeping, per-host merge).
+  if (const auto remote_hosts =
+          static_cast<std::size_t>(cli.get_int("remote", 0));
+      remote_hosts > 0) {
+    BatchOptions remote_options{.backend = BatchBackend::Remote};
+    remote_options.remote_hosts.assign(remote_hosts, "loopback");
+    const BatchEngine remote(remote_options);
+    timer.restart();
+    const auto remote_results = remote.run(spec);
+    const double remote_seconds = timer.elapsed_seconds();
+    std::size_t remote_mismatches = 0;
+    for (std::size_t i = 0; i < sequential_results.size(); ++i)
+      if (remote_results[i].status != CellStatus::Ok ||
+          !identical(sequential_results[i], remote_results[i]))
+        ++remote_mismatches;
+    std::cout << "# remote scheduler (" << remote_hosts
+              << " loopback workers): " << format_fixed(remote_seconds, 2)
+              << " s, " << remote_mismatches << " mismatched cells"
+              << (remote_mismatches == 0
+                      ? " (bit-identical through the scheduler)"
+                      : " (BUG)")
+              << '\n';
+    mismatches += remote_mismatches;
   }
 
   const auto report = SweepReport::build(spec, parallel_results,

@@ -8,16 +8,33 @@
 /// dimension collapsed into RunningStats) and optionally a CSV.
 ///
 ///     parallel_sweep [--evals=N] [--workers=N] [--seeds=N] [--csv=FILE]
-///                    [--backend=thread|fork] [--worker=PATH]
+///                    [--backend=thread|fork|remote] [--worker=PATH]
+///                    [--hosts=EP1,EP2,...] [--pin] [--verify]
 ///                    [--expect-failed=N]
 ///
 /// `--backend=fork` runs the grid on crash-isolated `phonoc_worker`
 /// processes (one per slice; a dying worker fails only the cell it died
 /// on). `--worker` overrides the worker binary, which defaults to the
-/// `phonoc_worker` sitting next to this executable. `--expect-failed`
-/// turns the run into a smoke check: exit nonzero unless exactly N
-/// cells failed — CI uses this with PHONOC_WORKER_CRASH_INDEX to prove
-/// the fork/exec recovery path on every push.
+/// `phonoc_worker` sitting next to this executable.
+///
+/// `--backend=remote` ships framed shards to a fleet of worker
+/// endpoints through the distributed scheduler (src/sched/): `--hosts`
+/// lists them, either `host:port` TCP `phonoc_workerd` daemons or
+/// `loopback` for in-process served connections (the default fleet is
+/// two loopback workers). Dead hosts fail over and stragglers are
+/// retried; results stay bit-identical to the in-process backend.
+///
+/// `--pin` caps in-flight cells at the hardware thread count
+/// (`BatchOptions::pin_one_cell_per_thread`) so `max_seconds` budgets
+/// are not distorted by oversubscription.
+///
+/// `--verify` re-runs the sweep on the in-process backend and asserts
+/// every cell is bit-identical (fitness, mapping, evaluation counts,
+/// worst-case metrics) — CI uses this to prove the remote scheduler's
+/// determinism contract, including runs where one daemon is killed
+/// mid-sweep and its cells are recovered by retry. `--expect-failed`
+/// asserts the exact number of failed cells (the fork-backend crash
+/// smoke).
 ///
 /// Because every cell owns its Evaluator and RNG, the results are
 /// bit-identical whatever the worker count or backend: re-run with
@@ -36,16 +53,46 @@
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
+namespace {
+
+using namespace phonoc;
+
+/// Bit-exact comparison of the determinism-contract fields (everything
+/// except the timing fields). Prints a diagnostic on mismatch.
+bool identical_runs(const CellResult& got, const CellResult& want) {
+  const auto& g = got.run;
+  const auto& w = want.run;
+  const bool same =
+      got.status == CellStatus::Ok && want.status == CellStatus::Ok &&
+      got.seed == want.seed && g.algorithm == w.algorithm &&
+      g.search.best == w.search.best &&
+      g.search.best_fitness == w.search.best_fitness &&
+      g.search.evaluations == w.search.evaluations &&
+      g.search.iterations == w.search.iterations &&
+      g.best_evaluation.worst_loss_db == w.best_evaluation.worst_loss_db &&
+      g.best_evaluation.worst_snr_db == w.best_evaluation.worst_snr_db;
+  if (!same)
+    std::cerr << "verify: cell " << got.cell.index << " differs ("
+              << (got.status == CellStatus::Failed
+                      ? "failed: " + got.error
+                      : "fitness " + format_double(g.search.best_fitness) +
+                            " vs " + format_double(w.search.best_fitness))
+              << ")\n";
+  return same;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace phonoc;
   const CliOptions cli(argc, argv);
   const auto evals =
       static_cast<std::uint64_t>(cli.get_int("evals", 2000));
   const auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 3));
   const auto backend_name = cli.get_or("backend", "thread");
-  if (backend_name != "thread" && backend_name != "fork") {
-    std::cerr << "error: --backend must be 'thread' or 'fork'\n";
+  if (backend_name != "thread" && backend_name != "fork" &&
+      backend_name != "remote") {
+    std::cerr << "error: --backend must be 'thread', 'fork' or 'remote'\n";
     return 1;
   }
 
@@ -60,17 +107,28 @@ int main(int argc, char** argv) {
       .add_seed_range(1, seeds);
 
   BatchOptions options{.workers = workers};
+  options.pin_one_cell_per_thread = cli.get_bool("pin", false);
   if (backend_name == "fork") {
     options.backend = BatchBackend::ForkExec;
     options.worker_path = cli.get_or("worker", worker_path_near(argv[0]));
+  } else if (backend_name == "remote") {
+    options.backend = BatchBackend::Remote;
+    for (const auto& endpoint :
+         split(cli.get_or("hosts", "loopback,loopback"), ','))
+      if (!trim(endpoint).empty())
+        options.remote_hosts.emplace_back(trim(endpoint));
   }
   const BatchEngine engine(options);
   std::cout << "Sweeping " << cell_count(spec) << " cells ("
             << spec.workloads.size() << " apps x " << spec.topologies.size()
             << " topologies x " << spec.goals.size() << " objectives x "
             << spec.optimizers.size() << " optimizers x " << spec.seeds.size()
-            << " seeds) on " << engine.worker_count() << ' ' << backend_name
-            << " worker(s)...\n";
+            << " seeds) on ";
+  if (backend_name == "remote")
+    std::cout << options.remote_hosts.size() << " remote host(s)...\n";
+  else
+    std::cout << engine.worker_count() << ' ' << backend_name
+              << " worker(s)...\n";
 
   Timer timer;
   const auto results = engine.run(spec);
@@ -103,6 +161,23 @@ int main(int argc, char** argv) {
     }
     report.write_csv(out);
     std::cout << "Aggregated report written to " << *csv_path << '\n';
+  }
+
+  if (cli.has("verify")) {
+    std::cout << "Verifying bit-identity against the in-process backend...\n";
+    const auto reference =
+        BatchEngine({.workers = workers, .evaluator = options.evaluator})
+            .run(spec);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < results.size(); ++i)
+      if (!identical_runs(results[i], reference[i])) ++mismatches;
+    if (mismatches > 0) {
+      std::cerr << "error: " << mismatches << " of " << results.size()
+                << " cells differ from the in-process backend\n";
+      return 1;
+    }
+    std::cout << "Determinism check passed: " << results.size()
+              << " cells bit-identical across backends.\n";
   }
 
   if (cli.has("expect-failed")) {

@@ -1,0 +1,62 @@
+/// \file phonoc_workerd.cpp
+/// \brief Serve-over-socket worker daemon of the distributed sweep
+/// scheduler (src/sched/).
+///
+/// Listens on a TCP port and serves scheduler connections one at a
+/// time: framed handshake, then SweepShard frames in / CellResult
+/// frames out (the exec/serialize wire format wrapped in
+/// length+checksum frames — see src/sched/README.md). Start one daemon
+/// per core per machine and point the scheduler at the fleet:
+///
+///     phonoc_workerd --port=7401 &
+///     phonoc_workerd --port=7402 &
+///     parallel_sweep --backend=remote --hosts=host:7401,host:7402
+///
+/// Flags:
+///   --port=N              listening port (0 picks an ephemeral port;
+///                         the chosen port is printed either way)
+///   --once                exit after serving one connection
+///   --max-conns=N         exit after serving N connections
+///   --crash-after-cells=N CI/test hook: abort() after emitting N cell
+///                         results — the injected mid-sweep worker
+///                         death the scheduler must recover from
+///
+/// Exit codes: 0 = served the requested connections, 1 = setup error.
+
+#include <iostream>
+
+#include "sched/service.hpp"
+#include "sched/transport.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phonoc;
+  const CliOptions cli(argc, argv);
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7401));
+  const auto max_conns = cli.has("once")
+                             ? 1
+                             : cli.get_int("max-conns", 0);  // 0 = forever
+  ServiceOptions service;
+  service.crash_after_cells = cli.get_int("crash-after-cells", -1);
+
+  TcpListener listener(port);
+  std::cout << "phonoc_workerd: listening on 127.0.0.1:" << listener.port()
+            << (service.crash_after_cells >= 0 ? " (crash injection armed)"
+                                               : "")
+            << std::endl;
+
+  std::int64_t served = 0;
+  for (;;) {
+    auto conn = listener.accept();
+    if (!conn) {
+      std::cerr << "phonoc_workerd: accept failed\n";
+      return 1;
+    }
+    const auto cells = serve_connection(*conn, service);
+    conn->close();
+    ++served;
+    std::cout << "phonoc_workerd: connection " << served << " done, "
+              << cells << " cell(s) served" << std::endl;
+    if (max_conns > 0 && served >= max_conns) return 0;
+  }
+}

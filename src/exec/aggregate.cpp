@@ -1,5 +1,6 @@
 #include "exec/aggregate.hpp"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 #include <tuple>
@@ -104,6 +105,12 @@ void SweepReport::merge(const SweepReport& other) {
   failed_count += other.failed_count;
   cpu_seconds += other.cpu_seconds;
   wall_seconds += other.wall_seconds;
+}
+
+void SweepReport::merge_concurrent(const SweepReport& other) {
+  const double wall = std::max(wall_seconds, other.wall_seconds);
+  merge(other);
+  wall_seconds = wall;
 }
 
 namespace {

@@ -74,6 +74,14 @@ struct SweepReport {
   /// Merge a report over the same spec (e.g. another shard of seeds).
   void merge(const SweepReport& other);
 
+  /// Merge a report whose shard ran *concurrently* with this one (e.g.
+  /// on another host of a worker fleet): statistics and counters fold
+  /// exactly like merge(), cpu_seconds still sums, but wall_seconds
+  /// takes the max of the two clocks — concurrent wall time overlaps
+  /// instead of adding. The remote scheduler merges per-host reports
+  /// with this (see src/sched/).
+  void merge_concurrent(const SweepReport& other);
+
   /// Render through TableWriter (one row per cell).
   [[nodiscard]] TableWriter to_table() const;
   [[nodiscard]] std::string to_ascii() const;

@@ -6,6 +6,7 @@
 
 #include "exec/fork_exec.hpp"
 #include "exec/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -54,6 +55,30 @@ CellResult run_sweep_cell(const SweepSpec& spec, const SweepCell& cell,
   return result;
 }
 
+CellResult make_failed_cell(const SweepSpec& spec, const SweepCell& cell,
+                            std::string error) {
+  CellResult failed;
+  failed.cell = cell;
+  failed.seed = spec.seeds[cell.seed];
+  failed.status = CellStatus::Failed;
+  failed.error = std::move(error);
+  return failed;
+}
+
+CellResult run_sweep_cell_isolated(
+    const SweepSpec& spec, const SweepCell& cell,
+    const std::map<SweepProblemKey,
+                   std::shared_ptr<const MappingProblem>>& problems,
+    const EvaluatorOptions& evaluator) {
+  try {
+    const auto& problem =
+        *problems.at(SweepProblemKey{cell.workload, cell.topology, cell.goal});
+    return run_sweep_cell(spec, cell, problem, evaluator);
+  } catch (const std::exception& e) {
+    return make_failed_cell(spec, cell, e.what());
+  }
+}
+
 BatchEngine::BatchEngine(BatchOptions options)
     : workers_(options.workers == 0 ? ThreadPool::default_worker_count()
                                     : options.workers),
@@ -62,11 +87,17 @@ BatchEngine::BatchEngine(BatchOptions options)
           "BatchEngine: worker count " + std::to_string(workers_) +
               " exceeds the sanity limit of " +
               std::to_string(ThreadPool::kMaxWorkers));
+  // Wall-clock-fair mode: one in-flight cell per hardware thread, so
+  // max_seconds budgets are not stretched by oversubscription.
+  if (options_.pin_one_cell_per_thread)
+    workers_ = std::min(workers_, ThreadPool::default_worker_count());
 }
 
 std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
   if (options_.backend == BatchBackend::ForkExec)
     return run_fork_exec(spec, options_, workers_);
+  if (options_.backend == BatchBackend::Remote)
+    return run_remote(spec, options_);
 
   const auto cells = expand(spec);
   const auto problems = build_sweep_problems(spec, cells);

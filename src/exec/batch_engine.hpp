@@ -36,6 +36,14 @@ enum class BatchBackend {
   /// crashing or leaking worker fails only the cell it died on; the
   /// slice's remainder is respawned and the rest of the grid completes.
   ForkExec,
+  /// The distributed sweep scheduler (src/sched/): shards are framed
+  /// with the exec/serialize wire format and shipped to a fleet of
+  /// `phonoc_workerd` daemons listed in BatchOptions::remote_hosts;
+  /// dead hosts fail over, stragglers are retried on surviving hosts,
+  /// and late duplicate answers are deduplicated per cell. Results are
+  /// bit-identical to the in-process backend. Use sched::Scheduler
+  /// directly for per-host reports and the full set of knobs.
+  Remote,
 };
 
 struct BatchOptions {
@@ -55,6 +63,19 @@ struct BatchOptions {
   /// the PHONOC_WORKER_BIN environment variable, then to "phonoc_worker"
   /// resolved through PATH.
   std::string worker_path;
+  /// Remote only: worker endpoints, one per fleet host — "host:port"
+  /// for a TCP `phonoc_workerd` daemon, or "loopback" for a worker
+  /// served by an in-process thread over a socketpair (tests and
+  /// single-host use). Must be non-empty for BatchBackend::Remote.
+  std::vector<std::string> remote_hosts;
+  /// Cap the resolved worker count at the hardware thread count so at
+  /// most one cell is in flight per hardware thread. With `max_seconds`
+  /// budgets an oversubscribed pool distorts the paper's equal-time
+  /// protocol (every cell's wall clock stretches by the oversubscription
+  /// factor); pinning keeps time budgets comparable across runs and
+  /// machines. No effect on evaluation-count budgets beyond the worker
+  /// cap itself.
+  bool pin_one_cell_per_thread = false;
 };
 
 /// Terminal state of one grid cell.
@@ -90,6 +111,22 @@ build_sweep_problems(const SweepSpec& spec,
                                         const SweepCell& cell,
                                         const MappingProblem& problem,
                                         const EvaluatorOptions& evaluator);
+
+/// The Failed-cell constructor shared by every backend: coordinates
+/// and seed survive so the failure stays attributable.
+[[nodiscard]] CellResult make_failed_cell(const SweepSpec& spec,
+                                          const SweepCell& cell,
+                                          std::string error);
+
+/// run_sweep_cell with per-cell exception isolation: a throwing
+/// optimizer becomes a Failed cell instead of a lost slice. Shared by
+/// the fork/exec worker body and the sched worker service so their
+/// failure semantics cannot drift apart.
+[[nodiscard]] CellResult run_sweep_cell_isolated(
+    const SweepSpec& spec, const SweepCell& cell,
+    const std::map<SweepProblemKey,
+                   std::shared_ptr<const MappingProblem>>& problems,
+    const EvaluatorOptions& evaluator);
 
 class BatchEngine {
  public:

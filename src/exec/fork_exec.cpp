@@ -184,12 +184,7 @@ SpawnOutcome spawn_slice(const std::string& worker_path,
 void mark_failed(std::vector<CellResult>& results, const SweepSpec& spec,
                  const std::vector<SweepCell>& cells, std::size_t index,
                  const std::string& message) {
-  CellResult failed;
-  failed.cell = cells[index];
-  failed.seed = spec.seeds[cells[index].seed];
-  failed.status = CellStatus::Failed;
-  failed.error = message;
-  results[index] = std::move(failed);
+  results[index] = make_failed_cell(spec, cells[index], message);
 }
 
 /// Drive one slice to completion: spawn, harvest, and on worker death

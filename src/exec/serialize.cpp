@@ -311,13 +311,25 @@ SweepSpec read_spec(std::istream& in) {
 
 // --- shard -----------------------------------------------------------------
 
-void write_shard(std::ostream& out, const SweepShard& shard) {
+std::string shard_prefix(const SweepSpec& spec,
+                         const EvaluatorOptions& evaluator) {
+  std::ostringstream out;
   out << kShardMagic << '\n';
-  write_spec(out, shard.spec);
-  out << "evaluator " << shard.evaluator.cache_capacity << ' '
-      << (shard.evaluator.incremental ? 1 : 0) << '\n';
-  out << "slice " << shard.begin << ' ' << shard.end << '\n';
-  out << "end_shard\n";
+  write_spec(out, spec);
+  out << "evaluator " << evaluator.cache_capacity << ' '
+      << (evaluator.incremental ? 1 : 0) << '\n';
+  return out.str();
+}
+
+std::string complete_shard(const std::string& prefix, std::size_t begin,
+                           std::size_t end) {
+  return prefix + "slice " + std::to_string(begin) + ' ' +
+         std::to_string(end) + "\nend_shard\n";
+}
+
+void write_shard(std::ostream& out, const SweepShard& shard) {
+  out << complete_shard(shard_prefix(shard.spec, shard.evaluator),
+                        shard.begin, shard.end);
 }
 
 SweepShard read_shard(std::istream& in) {
@@ -497,6 +509,126 @@ std::optional<CellResult> read_cell_result(std::istream& in) {
   fields = reader.expect("end_cell");
   check_arity(fields, 1, reader.line());
   return result;
+}
+
+// --- framing ---------------------------------------------------------------
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+constexpr const char* kFrameKeyword = "frame";
+
+std::string checksum_hex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = digits[hash & 0xf];
+    hash >>= 4;
+  }
+  return hex;
+}
+
+struct FrameHeader {
+  std::size_t length = 0;
+  std::string checksum;
+};
+
+/// Upper bound on one frame's payload. Real payloads are a shard (spec
+/// + workloads) or one cell block — far below this; anything larger is
+/// a corrupt or hostile header, and rejecting it here keeps a garbage
+/// length from driving unbounded buffering or a giant allocation.
+constexpr std::size_t kMaxFramePayload = std::size_t{1} << 30;  // 1 GiB
+
+FrameHeader parse_frame_header(std::string_view line) {
+  const auto fields = split_ws(line);
+  if (fields.size() != 3 || fields[0] != kFrameKeyword)
+    throw ParseError("expected a 'frame <length> <checksum>' header, got '" +
+                     std::string(trim(line)) + "'");
+  FrameHeader header;
+  header.length = parse_size(fields[1], -1);
+  if (header.length > kMaxFramePayload)
+    throw ParseError("frame length " + fields[1] +
+                     " exceeds the 1 GiB payload bound: corrupt header");
+  header.checksum = fields[2];
+  return header;
+}
+
+void verify_frame(std::string_view payload, const FrameHeader& header) {
+  if (checksum_hex(fnv1a64(payload)) != header.checksum)
+    throw ParseError("frame checksum mismatch (" +
+                     std::to_string(payload.size()) +
+                     "-byte payload): the stream is corrupt");
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 32);
+  frame += kFrameKeyword;
+  frame += ' ';
+  frame += std::to_string(payload.size());
+  frame += ' ';
+  frame += checksum_hex(fnv1a64(payload));
+  frame += '\n';
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buffer_ += bytes; }
+
+std::optional<std::string> FrameDecoder::next() {
+  const auto newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
+    // An impossibly long "header" can only be garbage: fail early
+    // instead of buffering an unbounded junk stream.
+    if (buffer_.size() > 64)
+      (void)parse_frame_header(buffer_);  // throws with a diagnostic
+    return std::nullopt;
+  }
+  const auto header =
+      parse_frame_header(std::string_view(buffer_).substr(0, newline));
+  const auto body_begin = newline + 1;
+  if (buffer_.size() < body_begin + header.length + 1) return std::nullopt;
+  const auto payload =
+      std::string_view(buffer_).substr(body_begin, header.length);
+  if (buffer_[body_begin + header.length] != '\n')
+    throw ParseError("frame payload is not newline-terminated: "
+                     "length header and stream disagree");
+  verify_frame(payload, header);
+  std::string result(payload);
+  buffer_.erase(0, body_begin + header.length + 1);
+  return result;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  out << encode_frame(payload);
+}
+
+std::optional<std::string> read_frame(std::istream& in) {
+  std::string header_line;
+  if (!std::getline(in, header_line)) return std::nullopt;  // clean EOF
+  const auto header = parse_frame_header(header_line);
+  std::string payload(header.length, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(header.length));
+  if (static_cast<std::size_t>(in.gcount()) != header.length)
+    throw ParseError("frame truncated: expected " +
+                     std::to_string(header.length) + " payload bytes, got " +
+                     std::to_string(in.gcount()));
+  if (in.get() != '\n')
+    throw ParseError("frame payload is not newline-terminated: "
+                     "length header and stream disagree");
+  verify_frame(payload, header);
+  return payload;
 }
 
 }  // namespace phonoc

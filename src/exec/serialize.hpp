@@ -18,8 +18,11 @@
 /// magic; readers reject anything else, so protocol evolution is an
 /// explicit version bump rather than a silent drift.
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "exec/batch_engine.hpp"
 #include "exec/sweep.hpp"
@@ -45,6 +48,15 @@ void write_spec(std::ostream& out, const SweepSpec& spec);
 void write_shard(std::ostream& out, const SweepShard& shard);
 [[nodiscard]] SweepShard read_shard(std::istream& in);
 
+/// The slice-independent prefix of a serialized shard (magic, spec with
+/// embedded workloads, evaluator options). A scheduler dispatching many
+/// slices of one spec serializes this once and completes each shard
+/// with complete_shard() — only the two slice lines differ per unit.
+[[nodiscard]] std::string shard_prefix(const SweepSpec& spec,
+                                       const EvaluatorOptions& evaluator);
+[[nodiscard]] std::string complete_shard(const std::string& prefix,
+                                         std::size_t begin, std::size_t end);
+
 /// One cell outcome as a self-delimited block (`phonoc-cell v1` ...
 /// `end_cell`). Failed cells carry only coordinates, seed and the error
 /// message; Ok cells carry the full RunResult.
@@ -54,5 +66,48 @@ void write_cell_result(std::ostream& out, const CellResult& result);
 /// (EOF before a block starts); throws ParseError on a malformed or
 /// truncated block (e.g. the producer died mid-write).
 [[nodiscard]] std::optional<CellResult> read_cell_result(std::istream& in);
+
+// --- framing ---------------------------------------------------------------
+//
+// When shard/cell payloads leave the parent/child pipe pair and travel
+// over an arbitrary byte stream (TCP, a socketpair, a file), each
+// payload is wrapped in a self-checking frame:
+//
+//     frame <payload-bytes> <fnv1a64-hex>\n
+//     <payload bytes, verbatim>\n
+//
+// The length makes the stream self-delimiting (payloads may contain
+// anything, including further framing keywords); the FNV-1a checksum
+// turns truncation or corruption into an explicit ParseError instead of
+// a silently misparsed shard. The remote scheduler (src/sched/) frames
+// every message with these helpers.
+
+/// FNV-1a 64-bit hash of `bytes` (the frame checksum).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// One framed message as a string (header + payload + trailing newline).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder for non-blocking byte sources: feed()
+/// arbitrary chunks, next() yields complete payloads in order (nullopt
+/// while the buffered bytes end mid-frame). Corrupt headers or checksum
+/// mismatches throw ParseError — the stream is unusable from there on.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+  [[nodiscard]] std::optional<std::string> next();
+  /// True when buffered bytes form an incomplete frame (a truncation
+  /// diagnostic for streams that ended mid-message).
+  [[nodiscard]] bool has_partial() const noexcept { return !buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Stream convenience wrappers over the same format. read_frame returns
+/// nullopt on clean end-of-stream (EOF before a header starts) and
+/// throws ParseError on a truncated or corrupt frame.
+void write_frame(std::ostream& out, std::string_view payload);
+[[nodiscard]] std::optional<std::string> read_frame(std::istream& in);
 
 }  // namespace phonoc

@@ -54,20 +54,11 @@ int worker_main(std::istream& in, std::ostream& out) {
                   << '\n';
         std::abort();
       }
-      CellResult result;
-      try {
-        const auto& problem = *problems.at(
-            SweepProblemKey{cell.workload, cell.topology, cell.goal});
-        result = run_sweep_cell(shard.spec, cell, problem, shard.evaluator);
-      } catch (const std::exception& e) {
-        // Isolate the failing cell instead of losing the slice.
-        result = CellResult{};
-        result.cell = cell;
-        result.seed = shard.spec.seeds[cell.seed];
-        result.status = CellStatus::Failed;
-        result.error = e.what();
-      }
-      write_cell_result(out, result);
+      // run_sweep_cell_isolated turns a throwing optimizer into a
+      // Failed cell instead of losing the slice.
+      write_cell_result(out, run_sweep_cell_isolated(shard.spec, cell,
+                                                     problems,
+                                                     shard.evaluator));
       out.flush();
     }
     return 0;

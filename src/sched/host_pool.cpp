@@ -1,0 +1,192 @@
+#include "sched/host_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace phonoc {
+
+namespace {
+/// How often a blocked acquire() re-examines the straggler clocks.
+constexpr auto kAcquirePollInterval = std::chrono::milliseconds(20);
+}  // namespace
+
+HostPool::HostPool(std::size_t hosts, std::size_t cells,
+                   std::size_t cells_per_unit, std::size_t max_attempts,
+                   double speculate_after_seconds, bool allow_steal)
+    : queues_(hosts),
+      in_flight_(hosts),
+      settled_(cells, 0),
+      max_attempts_(std::max<std::size_t>(max_attempts, 1)),
+      speculate_after_seconds_(speculate_after_seconds),
+      allow_steal_(allow_steal),
+      epoch_(std::chrono::steady_clock::now()) {
+  require(hosts > 0, "HostPool: need at least one host");
+  const std::size_t unit = std::max<std::size_t>(cells_per_unit, 1);
+  // Deal contiguous units round-robin so every host starts with work
+  // and neighbouring ranges (which share problems worker-side) tend to
+  // land on the same host.
+  std::size_t index = 0;
+  for (std::size_t begin = 0; begin < cells; begin += unit, ++index)
+    queues_[index % hosts].push_back(
+        WorkUnit{begin, std::min(begin + unit, cells), 0});
+}
+
+double HostPool::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::size_t HostPool::first_unsettled(const WorkUnit& unit) const {
+  std::size_t i = unit.begin;
+  while (i < unit.end && settled_[i]) ++i;
+  return i;
+}
+
+void HostPool::settle_locked(std::size_t index) {
+  if (settled_[index]) return;
+  settled_[index] = 1;
+  ++settled_count_;
+  if (settled_count_ == settled_.size()) work_cv_.notify_all();
+}
+
+std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
+  const auto dispatch = [&](WorkUnit unit) -> std::optional<WorkUnit> {
+    // Skip any prefix settled in the meantime (e.g. by a clone); a
+    // fully settled unit simply dissolves.
+    unit.begin = first_unsettled(unit);
+    if (unit.begin >= unit.end) return std::nullopt;
+    in_flight_[host] = InFlight{unit, now_seconds(), false};
+    return unit;
+  };
+
+  // 1. Own queue.
+  while (!queues_[host].empty()) {
+    WorkUnit unit = queues_[host].front();
+    queues_[host].pop_front();
+    if (auto dispatched = dispatch(unit)) return dispatched;
+  }
+  // 2. Units bounced off a failed host.
+  while (!retry_.empty()) {
+    WorkUnit unit = retry_.front();
+    retry_.pop_front();
+    if (auto dispatched = dispatch(unit)) return dispatched;
+  }
+  // 3. Steal from the richest queue (from the back: the thief takes the
+  // work its owner would reach last).
+  if (allow_steal_) {
+    std::size_t richest = host;
+    std::size_t depth = 0;
+    for (std::size_t h = 0; h < queues_.size(); ++h)
+      if (h != host && queues_[h].size() > depth) {
+        depth = queues_[h].size();
+        richest = h;
+      }
+    while (depth > 0 && !queues_[richest].empty()) {
+      WorkUnit unit = queues_[richest].back();
+      queues_[richest].pop_back();
+      if (auto dispatched = dispatch(unit)) return dispatched;
+    }
+  }
+  // 4. Straggler speculation: clone a long-in-flight unit of another
+  // host. First answer wins; the loser's cells are deduplicated.
+  if (speculate_after_seconds_ >= 0.0) {
+    const double now = now_seconds();
+    for (std::size_t h = 0; h < in_flight_.size(); ++h) {
+      if (h == host || !in_flight_[h] || in_flight_[h]->cloned) continue;
+      auto& flight = *in_flight_[h];
+      if (now - flight.dispatched_at < speculate_after_seconds_) continue;
+      if (flight.unit.attempt + 1 >= max_attempts_) continue;
+      WorkUnit clone{first_unsettled(flight.unit), flight.unit.end,
+                     flight.unit.attempt + 1};
+      if (clone.begin >= clone.end) continue;
+      flight.cloned = true;
+      ++stats_.speculations;
+      in_flight_[host] = InFlight{clone, now, false};
+      return clone;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<WorkUnit> HostPool::acquire(std::size_t host) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (settled_count_ == settled_.size()) return std::nullopt;
+    if (auto unit = try_acquire_locked(host)) return unit;
+    // Waiting on three things at once — new retry units, full
+    // settlement, and straggler clocks crossing the speculation
+    // threshold. The first two notify; the clocks need a poll.
+    work_cv_.wait_for(lock, kAcquirePollInterval);
+  }
+}
+
+bool HostPool::complete_cell(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  require(index < settled_.size(), "HostPool: cell index out of range");
+  if (settled_[index]) {
+    ++stats_.duplicates;
+    return false;
+  }
+  settle_locked(index);
+  return true;
+}
+
+void HostPool::finish_unit(std::size_t host) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_[host].reset();
+}
+
+std::vector<std::size_t> HostPool::fail_unit(std::size_t host) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> abandoned;
+  if (!in_flight_[host]) return abandoned;
+  const WorkUnit unit = in_flight_[host]->unit;
+  in_flight_[host].reset();
+  const std::size_t begin = first_unsettled(unit);
+  if (begin >= unit.end) return abandoned;  // nothing left to recover
+  if (unit.attempt + 1 < max_attempts_) {
+    retry_.push_back(WorkUnit{begin, unit.end, unit.attempt + 1});
+    ++stats_.retries;
+    work_cv_.notify_all();
+    return abandoned;
+  }
+  // Attempts exhausted: these cells will never be answered.
+  for (std::size_t i = begin; i < unit.end; ++i)
+    if (!settled_[i]) {
+      settle_locked(i);
+      abandoned.push_back(i);
+      ++stats_.abandoned;
+    }
+  return abandoned;
+}
+
+void HostPool::retire_host(std::size_t host) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (!queues_[host].empty()) {
+    retry_.push_back(queues_[host].front());
+    queues_[host].pop_front();
+  }
+  work_cv_.notify_all();
+}
+
+bool HostPool::all_settled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return settled_count_ == settled_.size();
+}
+
+std::vector<std::size_t> HostPool::unsettled_cells() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> unsettled;
+  for (std::size_t i = 0; i < settled_.size(); ++i)
+    if (!settled_[i]) unsettled.push_back(i);
+  return unsettled;
+}
+
+HostPoolStats HostPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace phonoc

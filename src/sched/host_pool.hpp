@@ -1,0 +1,113 @@
+#pragma once
+/// \file host_pool.hpp
+/// \brief Thread-safe work ledger of the distributed sweep scheduler.
+///
+/// The grid is cut into contiguous WorkUnits and dealt round-robin into
+/// per-host queues. Each host-driver thread pulls its next unit with
+/// acquire(), which implements the fleet policies in one place:
+///
+///  - own queue first (locality: contiguous ranges share problems),
+///  - then the retry queue (units bounced off a dead or timed-out host),
+///  - then work stealing from the richest other queue,
+///  - then straggler speculation: clone a unit that has been in flight
+///    on another host for at least `speculate_after_seconds` (at most
+///    one live clone per dispatch, attempts still bounded).
+///
+/// Completion is first-wins per cell: complete_cell() returns false for
+/// a late duplicate (a straggler that answered after its clone), so a
+/// retried cell can never double-count. A unit whose host dies is
+/// re-queued with attempt+1 until max_attempts, after which its
+/// unsettled cells are abandoned (the scheduler marks them Failed).
+/// Every cell ends settled — answered or abandoned — which is the
+/// pool's termination condition.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace phonoc {
+
+/// A contiguous slice [begin, end) of grid indices plus its dispatch
+/// attempt (0 = first try).
+struct WorkUnit {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t attempt = 0;
+};
+
+struct HostPoolStats {
+  std::size_t retries = 0;       ///< units re-queued after a host failure
+  std::size_t speculations = 0;  ///< straggler units cloned to idle hosts
+  std::size_t abandoned = 0;     ///< cells that exhausted every attempt
+  std::size_t duplicates = 0;    ///< late answers dropped by dedup
+};
+
+class HostPool {
+ public:
+  /// `max_attempts` >= 1 is the total number of dispatches a unit may
+  /// consume (1 = no retries). A negative `speculate_after_seconds`
+  /// disables straggler speculation (0 makes every in-flight unit
+  /// immediately cloneable — deterministic tests use that);
+  /// `allow_steal` gates queue stealing.
+  HostPool(std::size_t hosts, std::size_t cells, std::size_t cells_per_unit,
+           std::size_t max_attempts, double speculate_after_seconds,
+           bool allow_steal = true);
+
+  /// Block until a unit is available for `host` or every cell is
+  /// settled (nullopt — the driver is done). Marks the unit in flight.
+  [[nodiscard]] std::optional<WorkUnit> acquire(std::size_t host);
+
+  /// First-wins dedup: true = this answer settles the cell (store the
+  /// result), false = already settled (late duplicate, drop it).
+  [[nodiscard]] bool complete_cell(std::size_t index);
+
+  /// The host's in-flight unit ended cleanly (its "done" frame arrived).
+  void finish_unit(std::size_t host);
+
+  /// The host died or timed out mid-unit: re-queue the unsettled
+  /// remainder for the surviving hosts, or — attempts exhausted —
+  /// abandon those cells. Returns the newly abandoned cell indices so
+  /// the caller can mark them Failed.
+  [[nodiscard]] std::vector<std::size_t> fail_unit(std::size_t host);
+
+  /// The host is gone for good: spill its queued units into the retry
+  /// queue (fail_unit handles the in-flight one).
+  void retire_host(std::size_t host);
+
+  [[nodiscard]] bool all_settled() const;
+  /// Cells neither answered nor abandoned (only meaningful once every
+  /// driver has exited; the scheduler fails them as unroutable).
+  [[nodiscard]] std::vector<std::size_t> unsettled_cells() const;
+  [[nodiscard]] HostPoolStats stats() const;
+
+ private:
+  struct InFlight {
+    WorkUnit unit;
+    double dispatched_at = 0.0;  ///< seconds on the pool's own clock
+    bool cloned = false;         ///< a speculation clone already exists
+  };
+
+  [[nodiscard]] double now_seconds() const;
+  [[nodiscard]] std::size_t first_unsettled(const WorkUnit& unit) const;
+  [[nodiscard]] std::optional<WorkUnit> try_acquire_locked(std::size_t host);
+  void settle_locked(std::size_t index);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::vector<std::deque<WorkUnit>> queues_;      // per-host
+  std::deque<WorkUnit> retry_;                    // bounced units
+  std::vector<std::optional<InFlight>> in_flight_;  // one per host
+  std::vector<char> settled_;                     // per-cell
+  std::size_t settled_count_ = 0;
+  std::size_t max_attempts_;
+  double speculate_after_seconds_;
+  bool allow_steal_;
+  HostPoolStats stats_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace phonoc

@@ -1,0 +1,334 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "exec/serialize.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace phonoc {
+namespace {
+
+/// A blocked recv re-checks "is the sweep already settled elsewhere?"
+/// this often, so one wedged straggler cannot stall an otherwise
+/// finished sweep for its whole hard timeout.
+constexpr double kRecvTickSeconds = 0.25;
+
+/// Everything one host-driver thread needs to touch. `results` and
+/// `cell_host` slots are written only after HostPool::complete_cell
+/// accepted the cell (first-wins), so writers never overlap.
+struct DriverContext {
+  const SweepSpec& spec;
+  const SchedulerOptions& options;
+  const std::vector<SweepCell>& cells;
+  /// Slice-independent serialized shard text (spec + evaluator),
+  /// computed once per sweep; complete_shard() finishes it per unit.
+  const std::string& shard_prefix;
+  HostPool& pool;
+  std::vector<CellResult>& results;
+  std::vector<int>& cell_host;
+};
+
+void mark_cell_failed(DriverContext& ctx, std::size_t index,
+                      const std::string& message) {
+  ctx.results[index] = make_failed_cell(ctx.spec, ctx.cells[index], message);
+}
+
+/// Abandon everything fail_unit() says is beyond retry.
+void abandon(DriverContext& ctx, std::size_t host,
+             const std::string& reason) {
+  for (const auto index : ctx.pool.fail_unit(host))
+    mark_cell_failed(ctx, index,
+                     "abandoned after " +
+                         std::to_string(ctx.options.max_attempts) +
+                         " attempt(s); last host error: " + reason);
+}
+
+enum class UnitOutcome { Done, HostDead, SweepSettled };
+
+/// Drain one in-flight unit: cell frames (first answer wins) until the
+/// worker's "done" marker. Returns HostDead on close/corruption/hard
+/// timeout, SweepSettled when every cell settled elsewhere while this
+/// host was still talking. A "done" that arrives before `expected`
+/// cell frames is itself a host failure — trusting it would strand the
+/// missing cells outside every queue and hang the sweep.
+UnitOutcome receive_unit(DriverContext& ctx, std::size_t host,
+                         std::size_t expected, Connection& conn,
+                         HostReport& report, std::string& death) {
+  std::size_t received = 0;
+  Timer silence;  // restarted on every frame: a hard *silence* deadline
+  for (;;) {
+    Connection::RecvResult frame;
+    try {
+      frame = conn.recv(kRecvTickSeconds);
+    } catch (const std::exception& e) {
+      death = std::string("corrupt frame: ") + e.what();
+      return UnitOutcome::HostDead;
+    }
+    switch (frame.status) {
+      case Connection::RecvStatus::Timeout: {
+        if (ctx.pool.all_settled()) return UnitOutcome::SweepSettled;
+        const double limit = ctx.options.cell_timeout_seconds;
+        if (limit > 0.0 && silence.elapsed_seconds() >= limit) {
+          death = "no frame for " + format_fixed(silence.elapsed_seconds(), 1) +
+                  " s (cell timeout)";
+          return UnitOutcome::HostDead;
+        }
+        continue;
+      }
+      case Connection::RecvStatus::Closed:
+        death = "connection closed mid-shard";
+        return UnitOutcome::HostDead;
+      case Connection::RecvStatus::Ok:
+        break;
+    }
+    silence.restart();
+
+    if (starts_with(frame.payload, kSchedDonePrefix)) {
+      if (received < expected) {
+        death = "worker reported done after " + std::to_string(received) +
+                " of " + std::to_string(expected) + " cells";
+        return UnitOutcome::HostDead;
+      }
+      return UnitOutcome::Done;
+    }
+    if (starts_with(frame.payload, kSchedErrorPrefix)) {
+      death = "worker reported: " + frame.payload;
+      return UnitOutcome::HostDead;
+    }
+    CellResult result;
+    try {
+      std::istringstream in(frame.payload);
+      auto parsed = read_cell_result(in);
+      if (!parsed) {
+        death = "empty cell frame";
+        return UnitOutcome::HostDead;
+      }
+      result = std::move(*parsed);
+    } catch (const std::exception& e) {
+      death = std::string("unreadable cell frame: ") + e.what();
+      return UnitOutcome::HostDead;
+    }
+    if (result.cell.index >= ctx.results.size()) {
+      death = "cell index " + std::to_string(result.cell.index) +
+              " out of range";
+      return UnitOutcome::HostDead;
+    }
+    ++received;
+    if (!ctx.pool.complete_cell(result.cell.index)) {
+      // A retried straggler answered after its clone: drop, don't
+      // double-count.
+      ++report.duplicates;
+      continue;
+    }
+    if (result.status == CellStatus::Ok) {
+      ++report.cells_ok;
+      // Ok cells only, matching SweepReport::build's cpu_seconds rule,
+      // so the merged report's cpu equals the sum of the host clocks.
+      report.cpu_seconds += result.seconds;
+    } else {
+      ++report.cells_failed;
+    }
+    ctx.cell_host[result.cell.index] = static_cast<int>(host);
+    ctx.results[result.cell.index] = std::move(result);
+  }
+}
+
+void drive_host(DriverContext ctx, std::size_t host, Transport& transport,
+                HostReport& report) {
+  Timer wall;
+  std::unique_ptr<Connection> conn;
+  try {
+    conn = transport.connect(report.endpoint);
+  } catch (const std::exception& e) {
+    report.error = e.what();
+    ctx.pool.retire_host(host);
+    report.wall_seconds = wall.elapsed_seconds();
+    log_warning() << "sched: host '" << report.endpoint
+                  << "' unreachable: " << report.error;
+    return;
+  }
+
+  const auto die = [&](const std::string& reason) {
+    report.died = true;
+    report.error = reason;
+    abandon(ctx, host, reason);
+    ctx.pool.retire_host(host);
+    conn->close();
+    log_warning() << "sched: host '" << report.endpoint
+                  << "' lost: " << reason;
+  };
+
+  // Version handshake before any work changes hands.
+  if (!conn->send(kSchedHello)) {
+    die("connection closed before the handshake");
+    report.wall_seconds = wall.elapsed_seconds();
+    return;
+  }
+  Connection::RecvResult hello;
+  try {
+    hello = conn->recv(ctx.options.handshake_timeout_seconds);
+  } catch (const std::exception& e) {
+    hello = {Connection::RecvStatus::Closed, {}};
+    report.error = e.what();
+  }
+  if (hello.status != Connection::RecvStatus::Ok ||
+      hello.payload != kSchedHello) {
+    die(hello.status == Connection::RecvStatus::Ok
+            ? "handshake mismatch: got '" + hello.payload + "'"
+            : "no handshake within " +
+                  format_fixed(ctx.options.handshake_timeout_seconds, 1) +
+                  " s");
+    report.wall_seconds = wall.elapsed_seconds();
+    return;
+  }
+  report.connected = true;
+
+  while (auto unit = ctx.pool.acquire(host)) {
+    if (!conn->send(
+            complete_shard(ctx.shard_prefix, unit->begin, unit->end))) {
+      die("connection closed while sending a shard");
+      break;
+    }
+    std::string death;
+    const auto outcome = receive_unit(ctx, host, unit->end - unit->begin,
+                                      *conn, report, death);
+    if (outcome == UnitOutcome::HostDead) {
+      die(death);
+      break;
+    }
+    if (outcome == UnitOutcome::SweepSettled) break;
+    ctx.pool.finish_unit(host);
+    ++report.shards;
+  }
+  if (!report.died) {
+    (void)conn->send(kSchedQuit);  // let a daemon go back to accepting
+    conn->close();
+  }
+  report.wall_seconds = wall.elapsed_seconds();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(std::move(options)) {
+  require(!options_.hosts.empty(),
+          "Scheduler: at least one host endpoint is required");
+}
+
+ScheduleResult Scheduler::run(const SweepSpec& spec) const {
+  Timer wall;
+  ScheduleResult outcome;
+  outcome.hosts.resize(options_.hosts.size());
+  for (std::size_t h = 0; h < options_.hosts.size(); ++h)
+    outcome.hosts[h].endpoint = options_.hosts[h];
+
+  const auto cells = expand(spec);
+  outcome.results.resize(cells.size());
+  outcome.cell_host.assign(cells.size(), -1);
+  if (cells.empty()) return outcome;
+
+  auto transport = options_.transport ? options_.transport : make_transport();
+  // The spec (with its embedded workloads) dwarfs the two slice lines;
+  // serialize it once instead of once per dispatched unit.
+  const std::string prefix = shard_prefix(spec, options_.evaluator);
+  HostPool pool(options_.hosts.size(), cells.size(), options_.cells_per_shard,
+                options_.max_attempts, options_.speculate_after_seconds,
+                options_.allow_steal);
+  log_info() << "sched: " << cells.size() << " cells over "
+             << options_.hosts.size() << " host(s), "
+             << options_.cells_per_shard << " cell(s)/shard, "
+             << options_.max_attempts << " attempt(s)";
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(options_.hosts.size());
+  for (std::size_t h = 0; h < options_.hosts.size(); ++h)
+    drivers.emplace_back([&, h] {
+      DriverContext ctx{spec,   options_,        cells,
+                        prefix, pool,            outcome.results,
+                        outcome.cell_host};
+      try {
+        drive_host(ctx, h, *transport, outcome.hosts[h]);
+      } catch (const std::exception& e) {
+        // A driver must never take the process down or wedge the pool:
+        // give its work back and record the host as lost.
+        outcome.hosts[h].died = true;
+        outcome.hosts[h].error = std::string("driver failed: ") + e.what();
+        abandon(ctx, h, outcome.hosts[h].error);
+        pool.retire_host(h);
+      }
+    });
+  for (auto& driver : drivers) driver.join();
+
+  // Cells no surviving host could take (e.g. the whole fleet died with
+  // work still queued) must fail loudly, not vanish.
+  DriverContext cleanup{spec,   options_,        cells,
+                        prefix, pool,            outcome.results,
+                        outcome.cell_host};
+  for (const auto index : pool.unsettled_cells())
+    mark_cell_failed(cleanup, index,
+                     "no live host was available to run this cell");
+
+  outcome.pool = pool.stats();
+  outcome.wall_seconds = wall.elapsed_seconds();
+  for (const auto& host : outcome.hosts)
+    log_info() << "sched: host '" << host.endpoint << "' "
+               << (host.connected ? (host.died ? "died" : "ok") : "unreachable")
+               << ": " << host.shards << " shard(s), " << host.cells_ok
+               << " ok, " << host.cells_failed << " failed, "
+               << host.duplicates << " duplicate(s), "
+               << format_fixed(host.cpu_seconds, 2) << " s cpu / "
+               << format_fixed(host.wall_seconds, 2) << " s wall";
+  return outcome;
+}
+
+SweepReport merge_host_reports(const SweepSpec& spec,
+                               const ScheduleResult& outcome) {
+  SweepReport merged;
+  for (std::size_t h = 0; h < outcome.hosts.size(); ++h) {
+    std::vector<CellResult> subset;
+    for (std::size_t i = 0; i < outcome.results.size(); ++i)
+      if (outcome.cell_host[i] == static_cast<int>(h))
+        subset.push_back(outcome.results[i]);
+    merged.merge_concurrent(
+        SweepReport::build(spec, subset, outcome.hosts[h].wall_seconds));
+  }
+  // Cells nobody answered (scheduler-side failures) still count toward
+  // failed_count; they carry no host clock.
+  std::vector<CellResult> unrouted;
+  for (std::size_t i = 0; i < outcome.results.size(); ++i)
+    if (outcome.cell_host[i] < 0 &&
+        outcome.results[i].status == CellStatus::Failed)
+      unrouted.push_back(outcome.results[i]);
+  if (!unrouted.empty())
+    merged.merge_concurrent(SweepReport::build(spec, unrouted, 0.0));
+  // Hosts answer interleaved slices, so restore the grid's row-major
+  // report order.
+  std::sort(merged.cells.begin(), merged.cells.end(),
+            [](const AggregateCell& a, const AggregateCell& b) {
+              return std::tie(a.workload, a.topology, a.goal, a.optimizer,
+                              a.budget) < std::tie(b.workload, b.topology,
+                                                   b.goal, b.optimizer,
+                                                   b.budget);
+            });
+  return merged;
+}
+
+std::vector<CellResult> run_remote(const SweepSpec& spec,
+                                   const BatchOptions& options) {
+  if (options.remote_hosts.empty())
+    throw ExecError(
+        "BatchBackend::Remote requires BatchOptions::remote_hosts (endpoints "
+        "like \"host:port\" or \"loopback\")");
+  SchedulerOptions sched;
+  sched.hosts = options.remote_hosts;
+  sched.evaluator = options.evaluator;
+  return Scheduler(std::move(sched)).run(spec).results;
+}
+
+}  // namespace phonoc

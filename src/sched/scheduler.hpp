@@ -1,0 +1,119 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Distributed sweep scheduler: ship shards to a worker fleet,
+/// retry stragglers, merge per-host reports.
+///
+/// The Scheduler splits a SweepSpec's grid into contiguous WorkUnits,
+/// dials every host of the fleet through a pluggable Transport, streams
+/// framed SweepShards out and CellResult blocks back, and survives the
+/// real fleet failure modes: a host that refuses the dial, a host that
+/// dies mid-shard, a straggler that answers after its work was cloned
+/// elsewhere (first answer wins, the late one is deduplicated), and a
+/// fleet that loses every host (the unroutable cells come back as
+/// CellStatus::Failed, never silently dropped).
+///
+/// Determinism: cells execute through the same build_sweep_problems()
+/// + run_sweep_cell() path as the in-process backend and the wire
+/// format round-trips doubles bit-exactly, so — for evaluation-count
+/// budgets — the per-cell results are bit-identical to
+/// BatchBackend::InProcess whatever the fleet size, failure pattern or
+/// retry schedule (tests/test_sched.cpp asserts this on a 64-cell grid
+/// with an injected mid-sweep worker death).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.hpp"
+#include "exec/batch_engine.hpp"
+#include "sched/host_pool.hpp"
+#include "sched/transport.hpp"
+
+namespace phonoc {
+
+struct SchedulerOptions {
+  /// Worker endpoints, one per fleet host ("host:port" TCP daemons, or
+  /// "loopback" for in-process served connections). At least one.
+  std::vector<std::string> hosts;
+  /// Connection factory; null uses make_transport() (TCP + loopback
+  /// dispatch). Failure-path tests inject fakes here.
+  std::shared_ptr<Transport> transport;
+  /// Per-cell Evaluator knobs, carried to the workers in each shard.
+  EvaluatorOptions evaluator{};
+  /// Cells per dispatched shard. Small units spread load and shrink
+  /// the retry blast radius; larger ones amortize worker-side problem
+  /// construction across neighbouring cells.
+  std::size_t cells_per_shard = 4;
+  /// Total dispatch attempts per unit across the fleet (1 = never
+  /// retry). Cells still unanswered after the last attempt fail.
+  std::size_t max_attempts = 3;
+  /// Handshake deadline per host.
+  double handshake_timeout_seconds = 30.0;
+  /// Hard per-frame deadline while a shard is in flight: a host that
+  /// stays silent this long is declared dead and its remainder is
+  /// re-queued. <= 0 waits forever.
+  double cell_timeout_seconds = 600.0;
+  /// Idle hosts clone a unit in flight elsewhere for this long
+  /// (straggler speculation; first answer wins). Negative disables.
+  double speculate_after_seconds = 30.0;
+  /// Allow idle hosts to steal queued units from busier ones.
+  bool allow_steal = true;
+};
+
+/// What one host contributed to a sweep.
+struct HostReport {
+  std::string endpoint;
+  bool connected = false;    ///< dial + handshake succeeded
+  bool died = false;         ///< failed or timed out mid-sweep
+  std::string error;         ///< diagnostic when !connected or died
+  std::size_t shards = 0;    ///< work units served to completion
+  std::size_t cells_ok = 0;  ///< accepted Ok results
+  std::size_t cells_failed = 0;  ///< accepted worker-reported failures
+  std::size_t duplicates = 0;    ///< late answers dropped by dedup
+  /// Host-observed clocks: wall from dial to drain; cpu = sum of the
+  /// accepted *Ok* cells' per-cell seconds (failed cells are excluded,
+  /// matching SweepReport::build, so merged cpu == sum of host cpu).
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+/// Outcome of one distributed sweep.
+struct ScheduleResult {
+  /// Grid-ordered per-cell results, exactly like BatchEngine::run.
+  std::vector<CellResult> results;
+  /// Which host's answer settled each cell (index into hosts; -1 for a
+  /// cell no host answered).
+  std::vector<int> cell_host;
+  std::vector<HostReport> hosts;
+  HostPoolStats pool;          ///< retries / speculations / dedup counts
+  double wall_seconds = 0.0;   ///< scheduler-observed elapsed time
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+
+  /// Execute the grid on the fleet. Throws ExecError when no host is
+  /// configured; per-host failures are reported, not thrown.
+  [[nodiscard]] ScheduleResult run(const SweepSpec& spec) const;
+
+ private:
+  SchedulerOptions options_;
+};
+
+/// Fold a fleet outcome into one SweepReport the way concurrent shards
+/// must be folded: per-host reports (each carrying that host's wall
+/// clock) merged with SweepReport::merge_concurrent, so cpu_seconds
+/// sums across the fleet while wall_seconds is the max per-host wall
+/// clock — hosts ran side by side, their elapsed time overlaps.
+[[nodiscard]] SweepReport merge_host_reports(const SweepSpec& spec,
+                                             const ScheduleResult& outcome);
+
+/// BatchEngine's BatchBackend::Remote entry point: a Scheduler built
+/// from BatchOptions (endpoints from remote_hosts, default transport),
+/// returning grid-ordered results like every other backend.
+[[nodiscard]] std::vector<CellResult> run_remote(const SweepSpec& spec,
+                                                 const BatchOptions& options);
+
+}  // namespace phonoc

@@ -1,0 +1,176 @@
+#include "sched/service.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/batch_engine.hpp"
+#include "exec/serialize.hpp"
+#include "util/log.hpp"
+
+namespace phonoc {
+namespace {
+
+/// Answer a broken request and end the connection (best effort: the
+/// peer may already be gone).
+std::size_t protocol_error(Connection& conn, std::size_t cells_served,
+                           const std::string& message) {
+  log_warning() << "sched service: " << message;
+  (void)conn.send(std::string(kSchedErrorPrefix) + " " + message);
+  return cells_served;
+}
+
+/// Per-connection cache of the expensive shard setup. Schedulers send
+/// many small shards of the *same* spec down one connection; expanding
+/// the grid and rebuilding networks/problems for each would multiply
+/// the one-time cost the in-process backend pays once. Keyed on the
+/// re-serialized spec text (write_spec round-trips bit-exactly, so an
+/// identical key means an identical spec), problems accumulate as new
+/// slices touch new (workload, topology, goal) coordinates.
+struct SpecCache {
+  std::string key;
+  SweepSpec spec;
+  std::vector<SweepCell> cells;
+  std::map<SweepProblemKey, std::shared_ptr<const MappingProblem>> problems;
+
+  /// The spec identity of a shard payload: everything before the
+  /// trailing `slice b e` / `end_shard` lines. complete_shard()
+  /// guarantees that prefix is byte-identical across every unit of one
+  /// sweep, so this is a pure substring — no re-serialization per
+  /// shard. Hand-crafted payloads that don't match the canonical tail
+  /// fall back to re-serializing the parsed spec (write_spec
+  /// round-trips bit-exactly, so the key is still sound).
+  static std::string key_of(const std::string& payload,
+                            const SweepSpec& parsed) {
+    constexpr std::string_view tail = "end_shard\n";
+    if (payload.size() > tail.size() &&
+        std::string_view(payload).substr(payload.size() - tail.size()) ==
+            tail) {
+      const auto slice = payload.rfind("\nslice ", payload.size() -
+                                                       tail.size() - 1);
+      if (slice != std::string::npos) return payload.substr(0, slice + 1);
+    }
+    std::ostringstream serialized;
+    write_spec(serialized, parsed);
+    return serialized.str();
+  }
+
+  void adopt(const SweepShard& shard, const std::string& payload) {
+    auto new_key = key_of(payload, shard.spec);
+    if (new_key == key) return;
+    key = std::move(new_key);
+    spec = shard.spec;
+    cells = expand(spec);
+    problems.clear();
+  }
+
+  /// Problems for every cell of [begin, end), building only the
+  /// coordinates this connection has not seen yet.
+  void ensure_problems(std::size_t begin, std::size_t end) {
+    std::vector<SweepCell> missing;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& cell = cells[i];
+      if (!problems.count(
+              SweepProblemKey{cell.workload, cell.topology, cell.goal}))
+        missing.push_back(cell);
+    }
+    if (missing.empty()) return;
+    auto built = build_sweep_problems(spec, missing);
+    problems.insert(built.begin(), built.end());
+  }
+};
+
+}  // namespace
+
+std::size_t serve_connection(Connection& conn, const ServiceOptions& options) {
+  std::size_t cells_served = 0;
+
+  Connection::RecvResult hello;
+  try {
+    hello = conn.recv(options.handshake_timeout_seconds);
+  } catch (const std::exception& e) {
+    // A non-scheduler peer (port scanner, stray HTTP probe) sends
+    // unframed bytes; that must drop the connection, not the daemon.
+    return protocol_error(conn, cells_served,
+                          std::string("unframed handshake: ") + e.what());
+  }
+  if (hello.status != Connection::RecvStatus::Ok ||
+      hello.payload != kSchedHello)
+    return protocol_error(
+        conn, cells_served,
+        hello.status == Connection::RecvStatus::Ok
+            ? "handshake mismatch: got '" + hello.payload + "', want '" +
+                  kSchedHello + "'"
+            : "peer vanished before the handshake");
+  if (!conn.send(kSchedHello)) return cells_served;
+
+  SpecCache cache;
+  for (;;) {
+    Connection::RecvResult request;
+    try {
+      request = conn.recv(options.idle_timeout_seconds);
+    } catch (const std::exception& e) {
+      return protocol_error(conn, cells_served,
+                            std::string("corrupt frame: ") + e.what());
+    }
+    if (request.status != Connection::RecvStatus::Ok) return cells_served;
+    if (request.payload == kSchedQuit) return cells_served;
+
+    SweepShard shard;
+    try {
+      std::istringstream in(request.payload);
+      shard = read_shard(in);
+    } catch (const std::exception& e) {
+      return protocol_error(conn, cells_served,
+                            std::string("unreadable shard: ") + e.what());
+    }
+
+    try {
+      cache.adopt(shard, request.payload);
+      if (shard.end > cache.cells.size())
+        return protocol_error(
+            conn, cells_served,
+            "slice [" + std::to_string(shard.begin) + ", " +
+                std::to_string(shard.end) + ") exceeds the grid size " +
+                std::to_string(cache.cells.size()));
+      cache.ensure_problems(shard.begin, shard.end);
+
+      for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        // run_sweep_cell_isolated: a throwing optimizer becomes a
+        // Failed cell, same semantics as the fork/exec worker.
+        std::ostringstream block;
+        write_cell_result(block,
+                          run_sweep_cell_isolated(cache.spec, cache.cells[i],
+                                                  cache.problems,
+                                                  shard.evaluator));
+        if (!conn.send(block.str())) return cells_served;
+        ++cells_served;
+        if (options.crash_after_cells >= 0 &&
+            cells_served >= static_cast<std::size_t>(
+                                options.crash_after_cells)) {
+          // Injected worker death: die the hard way, mid-sweep, with
+          // every already-sent frame intact on the wire.
+          log_warning() << "sched service: injected crash after "
+                        << cells_served << " cell(s)";
+          std::abort();
+        }
+      }
+      if (!conn.send(std::string(kSchedDonePrefix) + " " +
+                     std::to_string(shard.end - shard.begin)))
+        return cells_served;
+    } catch (const std::exception& e) {
+      // Shard-level failures (e.g. problem construction) are protocol
+      // answers, not worker deaths: the scheduler re-routes the shard.
+      return protocol_error(conn, cells_served,
+                            std::string("shard execution failed: ") +
+                                e.what());
+    }
+  }
+}
+
+}  // namespace phonoc

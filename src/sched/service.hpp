@@ -1,0 +1,40 @@
+#pragma once
+/// \file service.hpp
+/// \brief Worker-side serving loop of the distributed sweep scheduler.
+///
+/// serve_connection() is the body shared by every worker surface: the
+/// `phonoc_workerd` TCP daemon runs it on each accepted socket, and
+/// LoopbackTransport runs it on an in-process thread. It speaks the
+/// framed scheduler protocol (see src/sched/README.md): handshake,
+/// then shard frames in / cell-result frames out until "quit" or the
+/// peer disconnects. Cells execute through the exact
+/// build_sweep_problems() + run_sweep_cell() path of the in-process
+/// backend, which is what keeps remote results bit-identical.
+
+#include <cstddef>
+
+#include "sched/transport.hpp"
+
+namespace phonoc {
+
+struct ServiceOptions {
+  /// Handshake deadline; a peer that dials but never says hello is
+  /// dropped after this long.
+  double handshake_timeout_seconds = 30.0;
+  /// How long to wait for the next shard before giving up on the peer;
+  /// <= 0 waits forever (the daemon default — schedulers say "quit").
+  double idle_timeout_seconds = 0.0;
+  /// Test/CI hook: abort() the process after emitting this many cell
+  /// results (counted across shards); < 0 disables. This is the
+  /// injected mid-sweep worker death the scheduler must recover from.
+  long crash_after_cells = -1;
+};
+
+/// Serve one scheduler connection to completion; returns the number of
+/// cell results emitted. Never throws: protocol errors are answered
+/// with an "error <message>" frame (when the peer is still reachable)
+/// and end the connection.
+std::size_t serve_connection(Connection& conn,
+                             const ServiceOptions& options = {});
+
+}  // namespace phonoc

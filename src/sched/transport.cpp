@@ -1,0 +1,348 @@
+#include "sched/transport.hpp"
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "exec/serialize.hpp"
+#include "sched/service.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PHONOC_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <mutex>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#else
+#define PHONOC_HAS_SOCKETS 0
+#endif
+
+namespace phonoc {
+
+#if PHONOC_HAS_SOCKETS
+
+namespace {
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+/// A dead peer must surface as Closed, never as SIGPIPE.
+void disarm_sigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#else
+  (void)fd;
+#endif
+}
+
+class FdConnection final : public Connection {
+ public:
+  explicit FdConnection(int fd) : fd_(fd) { disarm_sigpipe(fd_); }
+  ~FdConnection() override { close(); }
+
+  bool send(const std::string& payload) override {
+    if (fd_ < 0) return false;
+    const std::string frame = encode_frame(payload);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::send(fd_, frame.data() + off, frame.size() - off, kSendFlags);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE, ECONNRESET and friends: the peer died
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  RecvResult recv(double timeout_seconds) override {
+    Timer timer;
+    for (;;) {
+      if (fd_ < 0) return {RecvStatus::Closed, {}};
+      if (auto payload = decoder_.next())
+        return {RecvStatus::Ok, std::move(*payload)};
+      int poll_ms = -1;  // wait forever
+      if (timeout_seconds > 0.0) {
+        const double remaining = timeout_seconds - timer.elapsed_seconds();
+        if (remaining <= 0.0) return {RecvStatus::Timeout, {}};
+        poll_ms = static_cast<int>(remaining * 1e3) + 1;
+      }
+      struct pollfd pfd {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, poll_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return {RecvStatus::Closed, {}};
+      }
+      if (ready == 0) return {RecvStatus::Timeout, {}};
+      char buffer[1 << 16];
+      const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return {RecvStatus::Closed, {}};
+      }
+      if (n == 0) return {RecvStatus::Closed, {}};  // orderly shutdown
+      decoder_.feed({buffer, static_cast<std::size_t>(n)});
+    }
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+struct ParsedEndpoint {
+  std::string host;
+  std::string port;
+};
+
+ParsedEndpoint parse_endpoint(const std::string& endpoint) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size())
+    throw ExecError("TcpTransport: endpoint '" + endpoint +
+                    "' is not host:port");
+  return {endpoint.substr(0, colon), endpoint.substr(colon + 1)};
+}
+
+int dial_tcp(const std::string& endpoint, double timeout_seconds) {
+  const auto parsed = parse_endpoint(endpoint);
+  struct addrinfo hints {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* info = nullptr;
+  const int rc =
+      ::getaddrinfo(parsed.host.c_str(), parsed.port.c_str(), &hints, &info);
+  if (rc != 0)
+    throw ExecError("TcpTransport: cannot resolve '" + endpoint +
+                    "': " + ::gai_strerror(rc));
+
+  std::string last_error = "no addresses";
+  for (auto* entry = info; entry != nullptr; entry = entry->ai_next) {
+    const int fd =
+        ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    // Non-blocking connect so a black-holed host honours the timeout.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) != 0 &&
+        errno != EINPROGRESS) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    struct pollfd pfd {fd, POLLOUT, 0};
+    const int poll_ms =
+        timeout_seconds > 0.0 ? static_cast<int>(timeout_seconds * 1e3) : -1;
+    const int ready = ::poll(&pfd, 1, poll_ms);
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (ready <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      last_error = ready == 0 ? "connect timed out"
+                              : std::strerror(so_error ? so_error : errno);
+      ::close(fd);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::freeaddrinfo(info);
+    return fd;
+  }
+  ::freeaddrinfo(info);
+  throw ExecError("TcpTransport: cannot connect to '" + endpoint +
+                  "': " + last_error);
+}
+
+}  // namespace
+
+std::unique_ptr<Connection> make_fd_connection(int fd) {
+  return std::make_unique<FdConnection>(fd);
+}
+
+TcpTransport::TcpTransport(double connect_timeout_seconds)
+    : connect_timeout_seconds_(connect_timeout_seconds) {}
+
+std::unique_ptr<Connection> TcpTransport::connect(
+    const std::string& endpoint) {
+  return make_fd_connection(dial_tcp(endpoint, connect_timeout_seconds_));
+}
+
+// --- loopback ---------------------------------------------------------------
+
+struct LoopbackTransport::Impl {
+  struct Server {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
+  std::mutex mutex;
+  std::vector<Server> servers;
+};
+
+LoopbackTransport::LoopbackTransport() : impl_(std::make_unique<Impl>()) {}
+
+LoopbackTransport::~LoopbackTransport() {
+  // Connections are expected to be closed by now; joining here makes a
+  // leaked connection a hang at a named place instead of a use-after-
+  // free inside a detached thread.
+  for (auto& server : impl_->servers) server.thread.join();
+}
+
+std::unique_ptr<Connection> LoopbackTransport::connect(
+    const std::string& endpoint) {
+  (void)endpoint;  // every loopback endpoint is this process
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw ExecError(std::string("LoopbackTransport: socketpair failed: ") +
+                    std::strerror(errno));
+  auto server_side = make_fd_connection(fds[0]);
+  auto finished = std::make_shared<std::atomic<bool>>(false);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    // Reap servers whose connection already ended, so a long-lived
+    // transport reused across many sweeps doesn't accumulate one
+    // exited-but-unjoined thread per connection ever made.
+    auto& servers = impl_->servers;
+    for (auto it = servers.begin(); it != servers.end();) {
+      if (it->finished->load()) {
+        it->thread.join();
+        it = servers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    servers.push_back(Impl::Server{
+        std::thread([conn = std::move(server_side), finished]() mutable {
+          (void)serve_connection(*conn, {});
+          conn->close();
+          finished->store(true);
+        }),
+        finished});
+  }
+  return make_fd_connection(fds[1]);
+}
+
+// --- TcpListener ------------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw ExecError(std::string("TcpListener: socket failed: ") +
+                    std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ExecError("TcpListener: cannot bind port " + std::to_string(port) +
+                    ": " + detail);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ExecError(std::string("TcpListener: listen failed: ") + detail);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return make_fd_connection(fd);
+    if (errno == EINTR) continue;
+    return nullptr;
+  }
+}
+
+#else  // !PHONOC_HAS_SOCKETS
+
+namespace {
+[[noreturn]] void no_sockets() {
+  throw ExecError(
+      "the sched transports require a POSIX platform (sockets/socketpair); "
+      "use BatchBackend::InProcess here");
+}
+}  // namespace
+
+std::unique_ptr<Connection> make_fd_connection(int) { no_sockets(); }
+TcpTransport::TcpTransport(double connect_timeout_seconds)
+    : connect_timeout_seconds_(connect_timeout_seconds) {}
+std::unique_ptr<Connection> TcpTransport::connect(const std::string&) {
+  no_sockets();
+}
+struct LoopbackTransport::Impl {};
+LoopbackTransport::LoopbackTransport() = default;
+LoopbackTransport::~LoopbackTransport() = default;
+std::unique_ptr<Connection> LoopbackTransport::connect(const std::string&) {
+  no_sockets();
+}
+TcpListener::TcpListener(std::uint16_t) { no_sockets(); }
+TcpListener::~TcpListener() = default;
+std::unique_ptr<Connection> TcpListener::accept() { no_sockets(); }
+
+#endif
+
+// --- endpoint dispatch ------------------------------------------------------
+
+namespace {
+
+/// Routes "loopback*" endpoints in-process and everything else to TCP.
+class DispatchingTransport final : public Transport {
+ public:
+  std::unique_ptr<Connection> connect(const std::string& endpoint) override {
+    if (starts_with(endpoint, "loopback")) return loopback_.connect(endpoint);
+    return tcp_.connect(endpoint);
+  }
+
+ private:
+  TcpTransport tcp_;
+  LoopbackTransport loopback_;
+};
+
+}  // namespace
+
+std::shared_ptr<Transport> make_transport() {
+  return std::make_shared<DispatchingTransport>();
+}
+
+}  // namespace phonoc

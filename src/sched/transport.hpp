@@ -1,0 +1,138 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Pluggable byte transports for the distributed sweep scheduler.
+///
+/// A Transport dials worker endpoints and returns Connections — framed,
+/// bidirectional, message-oriented channels. Every message is one
+/// exec/serialize frame (length + FNV-1a checksum wrapping the existing
+/// line-oriented shard/cell text), so corruption and truncation surface
+/// as explicit errors rather than misparsed work.
+///
+/// Shipped implementations:
+///  - TcpTransport     — dials "host:port" `phonoc_workerd` daemons.
+///  - LoopbackTransport — serves each connection from an in-process
+///    thread over a socketpair: the full framing + scheduler code path
+///    with no daemon to start (tests and single-host use).
+///  - make_transport() — endpoint-dispatching default ("loopback*" goes
+///    to LoopbackTransport, anything else to TcpTransport).
+///
+/// Scheduler failure-path tests inject their own Transport (an
+/// in-memory fake with scripted deaths/delays); nothing in the
+/// scheduler knows which implementation it is driving.
+///
+/// POSIX-only: on other platforms connect() throws ExecError.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace phonoc {
+
+/// Scheduler <-> worker handshake payload. Both sides send it as their
+/// first frame; a mismatch (version drift, a non-scheduler peer) kills
+/// the connection before any work is exchanged.
+inline constexpr const char* kSchedHello = "hello phonoc-sched v1";
+/// Client farewell: the worker closes the connection (a daemon goes
+/// back to accepting) instead of treating the close as a peer death.
+inline constexpr const char* kSchedQuit = "quit";
+/// Worker end-of-shard marker: "done <cells-emitted>".
+inline constexpr const char* kSchedDonePrefix = "done";
+/// Worker-side protocol failure: "error <message>".
+inline constexpr const char* kSchedErrorPrefix = "error";
+
+/// One framed, bidirectional channel to a worker. Implementations need
+/// not be thread-safe: the scheduler drives each connection from a
+/// single host-driver thread.
+class Connection {
+ public:
+  enum class RecvStatus {
+    Ok,       ///< `payload` holds one complete message
+    Timeout,  ///< nothing arrived within the deadline; retry is safe
+    Closed,   ///< the peer is gone (EOF, reset, or local close)
+  };
+  struct RecvResult {
+    RecvStatus status = RecvStatus::Closed;
+    std::string payload;
+  };
+
+  virtual ~Connection() = default;
+
+  /// Send one message; false when the peer is gone (never throws for
+  /// an ordinary peer death).
+  virtual bool send(const std::string& payload) = 0;
+
+  /// Receive the next message. `timeout_seconds` <= 0 waits forever.
+  /// Throws ParseError when the stream is corrupt (bad checksum) —
+  /// callers treat that exactly like a dead peer.
+  [[nodiscard]] virtual RecvResult recv(double timeout_seconds) = 0;
+
+  /// Idempotent; recv() on a closed connection returns Closed.
+  virtual void close() = 0;
+};
+
+/// Connection factory for one kind of endpoint.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Dial `endpoint`; throws ExecError when the host cannot be reached.
+  [[nodiscard]] virtual std::unique_ptr<Connection> connect(
+      const std::string& endpoint) = 0;
+};
+
+/// Framed connection over a POSIX file descriptor (socket or
+/// socketpair end). Takes ownership of the descriptor.
+[[nodiscard]] std::unique_ptr<Connection> make_fd_connection(int fd);
+
+/// Dials "host:port" TCP endpoints (a `phonoc_workerd` fleet).
+class TcpTransport : public Transport {
+ public:
+  /// `connect_timeout_seconds` bounds the TCP dial (not later recvs).
+  explicit TcpTransport(double connect_timeout_seconds = 10.0);
+  [[nodiscard]] std::unique_ptr<Connection> connect(
+      const std::string& endpoint) override;
+
+ private:
+  double connect_timeout_seconds_;
+};
+
+/// Serves every connection from an in-process worker thread over a
+/// socketpair (the same serve_connection() loop `phonoc_workerd` runs).
+/// Destruction joins the server threads; close every Connection first.
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport();
+  ~LoopbackTransport() override;
+  [[nodiscard]] std::unique_ptr<Connection> connect(
+      const std::string& endpoint) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The default endpoint-dispatching transport: endpoints starting with
+/// "loopback" are served in-process, everything else is dialed as TCP.
+[[nodiscard]] std::shared_ptr<Transport> make_transport();
+
+/// Listening side of TcpTransport, used by `phonoc_workerd`. Binds and
+/// listens on construction (port 0 picks an ephemeral port — read it
+/// back with port()); accept() blocks for the next scheduler dial.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Next inbound connection (blocking); nullptr when the listener was
+  /// interrupted by a fatal accept error.
+  [[nodiscard]] std::unique_ptr<Connection> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace phonoc

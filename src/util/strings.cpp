@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -91,6 +92,11 @@ std::string format_fixed(double value, int digits) {
 }
 
 std::string format_double(double value) {
+  // Non-finite spellings vary across standard libraries (MSVC prints
+  // "nan(ind)"); emit the canonical from_chars tokens so every value —
+  // including NaN/±Inf metrics — round-trips through parse_double.
+  if (std::isnan(value)) return std::signbit(value) ? "-nan" : "nan";
+  if (std::isinf(value)) return std::signbit(value) ? "-inf" : "inf";
   std::ostringstream out;
   out.precision(std::numeric_limits<double>::max_digits10);
   out << value;

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -19,6 +21,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 #include "workloads/generator.hpp"
 
 #ifndef PHONOC_WORKER_PATH
@@ -398,6 +401,85 @@ TEST(Serialize, FailedCellRoundTripsAndTornBlocksThrow) {
   const auto text = out.str();
   std::istringstream torn(text.substr(0, text.size() / 2));
   EXPECT_THROW((void)read_cell_result(torn), ParseError);
+}
+
+TEST(Serialize, NonFiniteDoublesRoundTripThroughTheWireFormat) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // The primitive first: canonical tokens in, value + sign bit out.
+  for (const double value : {nan, -nan, inf, -inf}) {
+    const auto parsed = parse_double(format_double(value));
+    EXPECT_EQ(std::isnan(parsed), std::isnan(value));
+    EXPECT_EQ(std::isinf(parsed), std::isinf(value));
+    EXPECT_EQ(std::signbit(parsed), std::signbit(value));
+  }
+
+  // Non-finite metrics in a cell result (an SNR can legitimately reach
+  // +inf when a mapping sees zero noise).
+  SweepSpec spec;
+  spec.add_workload("w", pipeline_cg(4))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizer("rs")
+      .add_budget(20)
+      .add_seed(5);
+  auto results = BatchEngine({.workers = 1}).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  results[0].run.best_evaluation.worst_snr_db = inf;
+  results[0].run.search.best_fitness = -inf;
+  ASSERT_FALSE(results[0].run.best_evaluation.edges.empty());
+  results[0].run.best_evaluation.edges[0].loss_db = nan;
+  results[0].run.best_evaluation.edges[0].noise_gain = -inf;
+  std::ostringstream cell_out;
+  write_cell_result(cell_out, results[0]);
+  std::istringstream cell_in(cell_out.str());
+  const auto cell = read_cell_result(cell_in);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->run.best_evaluation.worst_snr_db, inf);
+  EXPECT_EQ(cell->run.search.best_fitness, -inf);
+  EXPECT_TRUE(std::isnan(cell->run.best_evaluation.edges[0].loss_db));
+  EXPECT_EQ(cell->run.best_evaluation.edges[0].noise_gain, -inf);
+
+  // Non-finite physical parameters in a shard (e.g. an "infinite"
+  // crosstalk suppression sentinel).
+  SweepShard shard;
+  shard.spec = spec;
+  shard.spec.parameters.crossing_crosstalk_db = -inf;
+  shard.spec.parameters.pse_off_crosstalk_db = nan;
+  shard.end = 1;
+  std::ostringstream shard_out;
+  write_shard(shard_out, shard);
+  std::istringstream shard_in(shard_out.str());
+  const auto parsed = read_shard(shard_in);
+  EXPECT_EQ(parsed.spec.parameters.crossing_crosstalk_db, -inf);
+  EXPECT_TRUE(std::isnan(parsed.spec.parameters.pse_off_crosstalk_db));
+}
+
+// --- wall-clock-fair mode ---------------------------------------------------
+
+void expect_identical(const RunResult& a, const RunResult& b);
+
+TEST(BatchEngine, PinOneCellPerThreadCapsTheWorkerCount) {
+  const auto hardware = ThreadPool::default_worker_count();
+  // A grossly oversubscribed request is clamped to the hardware
+  // threads, so at most one cell is in flight per thread and
+  // max_seconds budgets stay comparable.
+  const BatchEngine pinned({.workers = ThreadPool::kMaxWorkers,
+                            .pin_one_cell_per_thread = true});
+  EXPECT_EQ(pinned.worker_count(), hardware);
+  // Undersubscribed requests are untouched, and the flag changes no
+  // results: a pinned run is bit-identical to the default (the
+  // determinism contract is worker-count independent).
+  const BatchEngine modest({.workers = 1, .pin_one_cell_per_thread = true});
+  EXPECT_EQ(modest.worker_count(), 1u);
+  const auto spec = tiny_spec();
+  const auto reference = BatchEngine({.workers = 2}).run(spec);
+  const auto pinned_results =
+      BatchEngine({.pin_one_cell_per_thread = true}).run(spec);
+  ASSERT_EQ(pinned_results.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_identical(pinned_results[i].run, reference[i].run);
 }
 
 // --- fork/exec worker backend ----------------------------------------------

@@ -1,0 +1,574 @@
+// Tests of the distributed sweep scheduler (src/sched/): frame
+// encoding/corruption detection, the HostPool work ledger (stealing,
+// retry, straggler speculation, first-wins dedup), the loopback
+// transport end to end — bit-identity with the in-process backend on a
+// 64-cell grid and per-host report merging (wall = max, cpu = sum) —
+// and the fleet failure paths driven through a scripted in-memory
+// Transport: dead-host failover, straggler retry with late-answer
+// dedup, and timeouts accounted into failed_count.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "exec/aggregate.hpp"
+#include "exec/batch_engine.hpp"
+#include "exec/serialize.hpp"
+#include "exec/sweep.hpp"
+#include "sched/host_pool.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/transport.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+#include "workloads/generator.hpp"
+
+namespace phonoc {
+namespace {
+
+// --- framing ---------------------------------------------------------------
+
+TEST(Framing, EncodeDecodeRoundTripInArbitraryChunks) {
+  const std::string payloads[] = {"", "x", "line one\nline two\n",
+                                  std::string(10000, 'q'),
+                                  "frame 3 deadbeef\nnested fake header"};
+  std::string stream;
+  for (const auto& payload : payloads) stream += encode_frame(payload);
+
+  FrameDecoder decoder;
+  std::vector<std::string> decoded;
+  // Feed in awkward 7-byte chunks so every header/payload boundary is
+  // crossed mid-chunk at least once.
+  for (std::size_t i = 0; i < stream.size(); i += 7) {
+    decoder.feed(std::string_view(stream).substr(i, 7));
+    while (auto frame = decoder.next()) decoded.push_back(*frame);
+  }
+  ASSERT_EQ(decoded.size(), std::size(payloads));
+  for (std::size_t i = 0; i < decoded.size(); ++i)
+    EXPECT_EQ(decoded[i], payloads[i]);
+  EXPECT_FALSE(decoder.has_partial());
+}
+
+TEST(Framing, CorruptionAndTruncationAreExplicitErrors) {
+  std::string frame = encode_frame("the payload under test");
+  // Flip one payload byte: checksum mismatch.
+  std::string corrupt = frame;
+  corrupt[frame.find("payload")] = 'P';
+  FrameDecoder decoder;
+  decoder.feed(corrupt);
+  EXPECT_THROW((void)decoder.next(), ParseError);
+
+  // A stream that is not framed at all fails on the header.
+  FrameDecoder junk;
+  junk.feed("phonoc-shard v1\nrouter crux\n");
+  EXPECT_THROW((void)junk.next(), ParseError);
+
+  // Truncation: the stream helpers see EOF mid-payload.
+  std::istringstream truncated(frame.substr(0, frame.size() - 5));
+  EXPECT_THROW((void)read_frame(truncated), ParseError);
+
+  // Clean EOF before any header is a nullopt, not an error.
+  std::istringstream empty("");
+  EXPECT_FALSE(read_frame(empty).has_value());
+
+  // And the stream round trip works.
+  std::ostringstream out;
+  write_frame(out, "alpha");
+  write_frame(out, "beta\nwith newline");
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_frame(in).value(), "alpha");
+  EXPECT_EQ(read_frame(in).value(), "beta\nwith newline");
+  EXPECT_FALSE(read_frame(in).has_value());
+}
+
+// --- the HostPool work ledger ----------------------------------------------
+
+TEST(HostPool, DealsContiguousUnitsRoundRobinAndOwnQueueFirst) {
+  HostPool pool(2, 8, 2, 1, -1.0);
+  const auto u0 = pool.acquire(0);
+  const auto u1 = pool.acquire(1);
+  ASSERT_TRUE(u0 && u1);
+  EXPECT_EQ(u0->begin, 0u);
+  EXPECT_EQ(u0->end, 2u);
+  EXPECT_EQ(u1->begin, 2u);
+  EXPECT_EQ(u1->end, 4u);
+}
+
+TEST(HostPool, CompleteCellIsFirstWins) {
+  HostPool pool(1, 4, 4, 1, -1.0);
+  (void)pool.acquire(0);
+  EXPECT_TRUE(pool.complete_cell(1));
+  EXPECT_FALSE(pool.complete_cell(1));  // late duplicate
+  EXPECT_EQ(pool.stats().duplicates, 1u);
+  EXPECT_FALSE(pool.all_settled());
+  for (const std::size_t i : {0u, 2u, 3u}) EXPECT_TRUE(pool.complete_cell(i));
+  EXPECT_TRUE(pool.all_settled());
+  EXPECT_FALSE(pool.acquire(0).has_value());  // settled pool: drivers exit
+}
+
+TEST(HostPool, FailUnitRequeuesThenAbandonsAfterMaxAttempts) {
+  HostPool pool(2, 4, 4, 2, -1.0, /*allow_steal=*/false);
+  // Round-robin with one unit: host 0 owns it, host 1 starts idle.
+  auto unit = pool.acquire(0);
+  ASSERT_TRUE(unit);
+  EXPECT_EQ(unit->attempt, 0u);
+  EXPECT_TRUE(pool.complete_cell(0));  // one cell answered before death
+  EXPECT_TRUE(pool.fail_unit(0).empty());  // attempt 1 of 2: re-queued
+  EXPECT_EQ(pool.stats().retries, 1u);
+
+  // The survivor picks the remainder out of the retry queue (stealing
+  // is off, so this is the retry path, not a steal).
+  auto retried = pool.acquire(1);
+  ASSERT_TRUE(retried);
+  EXPECT_EQ(retried->begin, 1u);  // the settled prefix is skipped
+  EXPECT_EQ(retried->end, 4u);
+  EXPECT_EQ(retried->attempt, 1u);
+
+  // Second death: attempts exhausted, the unsettled cells are abandoned.
+  const auto abandoned = pool.fail_unit(1);
+  EXPECT_EQ(abandoned, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(pool.stats().abandoned, 3u);
+  EXPECT_TRUE(pool.all_settled());
+}
+
+TEST(HostPool, IdleHostStealsFromTheRichestQueue) {
+  // 3 units, 2 hosts: host 0 owns units {0,2} and {4,6}, host 1 owns
+  // {2,4}. After finishing its own unit host 1 steals host 0's *back*
+  // unit.
+  HostPool pool(2, 6, 2, 1, -1.0);
+  const auto own = pool.acquire(1);
+  ASSERT_TRUE(own);
+  EXPECT_EQ(own->begin, 2u);
+  for (std::size_t i = own->begin; i < own->end; ++i)
+    EXPECT_TRUE(pool.complete_cell(i));
+  pool.finish_unit(1);
+  const auto stolen = pool.acquire(1);
+  ASSERT_TRUE(stolen);
+  EXPECT_EQ(stolen->begin, 4u);
+  EXPECT_EQ(stolen->end, 6u);
+}
+
+TEST(HostPool, RetiredHostsWorkMovesToTheRetryQueue) {
+  HostPool pool(2, 4, 2, 3, -1.0, /*allow_steal=*/false);
+  pool.retire_host(0);  // host 0 never even connected
+  // With stealing off, host 1 still reaches host 0's unit via retry.
+  const auto own = pool.acquire(1);
+  ASSERT_TRUE(own);
+  EXPECT_EQ(own->begin, 2u);
+  pool.finish_unit(1);
+  const auto orphan = pool.acquire(1);
+  ASSERT_TRUE(orphan);
+  EXPECT_EQ(orphan->begin, 0u);
+  EXPECT_EQ(orphan->attempt, 0u);  // moved, not failed: attempt intact
+}
+
+TEST(HostPool, StragglerSpeculationClonesAndDedups) {
+  // speculate_after = 0: any in-flight unit is immediately cloneable.
+  HostPool pool(2, 4, 4, 3, 0.0);
+  const auto original = pool.acquire(0);
+  ASSERT_TRUE(original);
+  const auto clone = pool.acquire(1);
+  ASSERT_TRUE(clone);
+  EXPECT_EQ(clone->begin, original->begin);
+  EXPECT_EQ(clone->end, original->end);
+  EXPECT_EQ(clone->attempt, original->attempt + 1);
+  EXPECT_EQ(pool.stats().speculations, 1u);
+
+  // The clone wins every cell; the straggler's late answers are
+  // dropped and nothing is double-counted.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(pool.complete_cell(i));
+  pool.finish_unit(1);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(pool.complete_cell(i));
+  pool.finish_unit(0);
+  EXPECT_EQ(pool.stats().duplicates, 4u);
+  EXPECT_TRUE(pool.all_settled());
+  // One live clone per dispatch: the cloned flag blocks a second one.
+  EXPECT_EQ(pool.stats().speculations, 1u);
+}
+
+// --- shared spec + identity helpers ----------------------------------------
+
+/// 2 workloads x 2 topologies x 2 goals x 2 optimizers x 2 budgets x 2
+/// seeds = 64 cells, evaluation-count budgets only (the determinism
+/// contract excludes wall-clock caps).
+SweepSpec spec64() {
+  SweepSpec spec;
+  spec.add_workload("p4", pipeline_cg(4))
+      .add_workload("r6", random_cg({.tasks = 6,
+                                     .avg_out_degree = 1.5,
+                                     .min_bandwidth = 8,
+                                     .max_bandwidth = 128,
+                                     .seed = 11,
+                                     .acyclic = false}))
+      .add_topology(TopologyKind::Mesh)
+      .add_topology(TopologyKind::Torus, 3)
+      .add_goal(OptimizationGoal::Snr)
+      .add_goal(OptimizationGoal::InsertionLoss)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(40)
+      .add_budget(60)
+      .add_seed(3)
+      .add_seed(21);
+  return spec;
+}
+
+/// 1 x 1 x 1 x 2 optimizers x 1 x 4 seeds = 8 cells.
+SweepSpec spec8() {
+  SweepSpec spec;
+  spec.add_workload("p5", pipeline_cg(5))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(30)
+      .add_seed_range(1, 4);
+  return spec;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_TRUE(a.search.best == b.search.best);
+  EXPECT_EQ(a.search.best_fitness, b.search.best_fitness);  // bitwise
+  EXPECT_EQ(a.search.evaluations, b.search.evaluations);
+  EXPECT_EQ(a.search.iterations, b.search.iterations);
+  EXPECT_EQ(a.best_evaluation.worst_loss_db, b.best_evaluation.worst_loss_db);
+  EXPECT_EQ(a.best_evaluation.worst_snr_db, b.best_evaluation.worst_snr_db);
+}
+
+void expect_all_identical(const SweepSpec& spec,
+                          const std::vector<CellResult>& got,
+                          const std::vector<CellResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].status, CellStatus::Ok)
+        << "cell " << i << " (" << cell_label(spec, got[i].cell)
+        << "): " << got[i].error;
+    EXPECT_EQ(got[i].cell.index, i);
+    EXPECT_EQ(got[i].seed, want[i].seed);
+    expect_identical(got[i].run, want[i].run);
+  }
+}
+
+// --- a scripted in-memory transport for the failure paths -------------------
+
+struct FakeBehavior {
+  /// Transport::connect throws (the host is down before the sweep).
+  bool refuse_connect = false;
+  /// The "worker" dies after emitting this many cell results: queued
+  /// frames still drain, then the connection reads Closed and further
+  /// sends fail.
+  std::size_t die_after_cells = static_cast<std::size_t>(-1);
+  /// Every shard's answers become visible only this long after the
+  /// shard arrived (a straggler host).
+  double answer_delay_seconds = 0.0;
+  /// Accept shards, never answer anything (a wedged host).
+  bool black_hole = false;
+};
+
+/// In-memory worker connection: send() executes the shard through the
+/// real run_sweep_cell path immediately and queues the reply frames
+/// with their visibility time; recv() replays them like a socket would.
+/// Single-threaded per connection, like every scheduler driver.
+class FakeConnection final : public Connection {
+ public:
+  explicit FakeConnection(FakeBehavior behavior) : behavior_(behavior) {}
+
+  bool send(const std::string& payload) override {
+    if (closed_ || dead_) return false;
+    if (payload == kSchedHello) {
+      outbox_.push_back({0.0, kSchedHello});
+      return true;
+    }
+    if (payload == kSchedQuit) return true;
+    if (behavior_.black_hole) return true;
+    std::istringstream in(payload);
+    const SweepShard shard = read_shard(in);
+    const auto cells = expand(shard.spec);
+    const std::vector<SweepCell> slice(cells.begin() + shard.begin,
+                                       cells.begin() + shard.end);
+    const auto problems = build_sweep_problems(shard.spec, slice);
+    const double at =
+        clock_.elapsed_seconds() + behavior_.answer_delay_seconds;
+    for (const auto& cell : slice) {
+      if (cells_emitted_ >= behavior_.die_after_cells) {
+        dead_ = true;  // queued frames drain, then recv reads Closed
+        return true;
+      }
+      const auto& problem = *problems.at(
+          SweepProblemKey{cell.workload, cell.topology, cell.goal});
+      std::ostringstream block;
+      write_cell_result(
+          block, run_sweep_cell(shard.spec, cell, problem, shard.evaluator));
+      outbox_.push_back({at, block.str()});
+      ++cells_emitted_;
+    }
+    outbox_.push_back({at, std::string(kSchedDonePrefix) + " " +
+                               std::to_string(slice.size())});
+    return true;
+  }
+
+  RecvResult recv(double timeout_seconds) override {
+    Timer waited;
+    for (;;) {
+      if (closed_) return {RecvStatus::Closed, {}};
+      if (!outbox_.empty() &&
+          outbox_.front().visible_at <= clock_.elapsed_seconds()) {
+        auto payload = std::move(outbox_.front().payload);
+        outbox_.pop_front();
+        return {RecvStatus::Ok, std::move(payload)};
+      }
+      if (outbox_.empty() && dead_) return {RecvStatus::Closed, {}};
+      if (timeout_seconds > 0.0 &&
+          waited.elapsed_seconds() >= timeout_seconds)
+        return {RecvStatus::Timeout, {}};
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  void close() override { closed_ = true; }
+
+ private:
+  struct Pending {
+    double visible_at = 0.0;
+    std::string payload;
+  };
+  FakeBehavior behavior_;
+  Timer clock_;
+  std::deque<Pending> outbox_;
+  std::size_t cells_emitted_ = 0;
+  bool dead_ = false;
+  bool closed_ = false;
+};
+
+class FakeTransport final : public Transport {
+ public:
+  explicit FakeTransport(std::map<std::string, FakeBehavior> behaviors)
+      : behaviors_(std::move(behaviors)) {}
+
+  std::unique_ptr<Connection> connect(const std::string& endpoint) override {
+    FakeBehavior behavior;
+    if (const auto it = behaviors_.find(endpoint); it != behaviors_.end())
+      behavior = it->second;
+    if (behavior.refuse_connect)
+      throw ExecError("fake: connection refused to '" + endpoint + "'");
+    return std::make_unique<FakeConnection>(behavior);
+  }
+
+ private:
+  const std::map<std::string, FakeBehavior> behaviors_;  // read-only
+};
+
+// --- the acceptance property: loopback fleet == in-process ------------------
+
+TEST(Scheduler, LoopbackFleetMatchesInProcessBitForBitOn64Cells) {
+  const auto spec = spec64();
+  ASSERT_EQ(cell_count(spec), 64u);
+  const auto reference = BatchEngine({.workers = 2}).run(spec);
+
+  SchedulerOptions options;
+  options.hosts = {"loopback", "loopback"};
+  const auto outcome = Scheduler(options).run(spec);
+  expect_all_identical(spec, outcome.results, reference);
+
+  // Both hosts really served work and every cell is attributed.
+  ASSERT_EQ(outcome.hosts.size(), 2u);
+  for (const auto& host : outcome.hosts) {
+    EXPECT_TRUE(host.connected);
+    EXPECT_FALSE(host.died);
+    EXPECT_GT(host.shards, 0u);
+  }
+  for (const auto owner : outcome.cell_host) EXPECT_GE(owner, 0);
+
+  // Aggregate stats agree with the in-process report on every
+  // non-timing statistic.
+  const auto want = SweepReport::build(spec, reference);
+  const auto merged = merge_host_reports(spec, outcome);
+  EXPECT_EQ(merged.run_count, want.run_count);
+  EXPECT_EQ(merged.failed_count, 0u);
+  ASSERT_EQ(merged.cells.size(), want.cells.size());
+  for (std::size_t i = 0; i < merged.cells.size(); ++i) {
+    EXPECT_EQ(merged.cells[i].best_fitness.mean(),
+              want.cells[i].best_fitness.mean());  // bitwise
+    EXPECT_EQ(merged.cells[i].worst_snr_db.max(),
+              want.cells[i].worst_snr_db.max());
+    EXPECT_EQ(merged.cells[i].evaluations.mean(),
+              want.cells[i].evaluations.mean());
+  }
+
+  // The fleet merge rules: wall is the max across hosts (they ran side
+  // by side), cpu is the sum of what each host accepted.
+  double max_wall = 0.0;
+  double cpu_sum = 0.0;
+  for (const auto& host : outcome.hosts) {
+    max_wall = std::max(max_wall, host.wall_seconds);
+    cpu_sum += host.cpu_seconds;
+  }
+  EXPECT_EQ(merged.wall_seconds, max_wall);
+  EXPECT_NEAR(merged.cpu_seconds, cpu_sum, 1e-9);
+}
+
+TEST(BatchEngine, RemoteBackendRunsOnLoopbackWorkers) {
+  const auto spec = spec8();
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+  const auto remote =
+      BatchEngine({.backend = BatchBackend::Remote,
+                   .remote_hosts = {"loopback", "loopback"}})
+          .run(spec);
+  expect_all_identical(spec, remote, reference);
+}
+
+TEST(BatchEngine, RemoteBackendWithoutHostsThrows) {
+  EXPECT_THROW((void)BatchEngine({.backend = BatchBackend::Remote})
+                   .run(spec8()),
+               ExecError);
+}
+
+// --- fleet failure paths (scripted transport) -------------------------------
+
+TEST(Scheduler, InjectedWorkerDeathFailsOverToTheSurvivor) {
+  const auto spec = spec64();
+  const auto reference = BatchEngine({.workers = 2}).run(spec);
+
+  SchedulerOptions options;
+  options.hosts = {"dying", "healthy"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{{"dying", {.die_after_cells = 5}}});
+  options.allow_steal = false;  // the dying host must meet its fate
+  options.speculate_after_seconds = -1.0;
+  const auto outcome = Scheduler(options).run(spec);
+
+  // The mid-sweep death loses nothing: the in-flight cell is recovered
+  // by retry on the surviving host, bit-identically.
+  expect_all_identical(spec, outcome.results, reference);
+  EXPECT_TRUE(outcome.hosts[0].died);
+  EXPECT_FALSE(outcome.hosts[1].died);
+  EXPECT_GE(outcome.pool.retries, 1u);
+  EXPECT_EQ(merge_host_reports(spec, outcome).failed_count, 0u);
+  // The dead host settled exactly what it emitted before dying.
+  EXPECT_EQ(outcome.hosts[0].cells_ok + outcome.hosts[0].cells_failed, 5u);
+}
+
+TEST(Scheduler, UnreachableHostIsRetiredAndTheFleetCarriesOn) {
+  const auto spec = spec8();
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+
+  SchedulerOptions options;
+  options.hosts = {"refused", "healthy"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{{"refused",
+                                           {.refuse_connect = true}}});
+  const auto outcome = Scheduler(options).run(spec);
+  expect_all_identical(spec, outcome.results, reference);
+  EXPECT_FALSE(outcome.hosts[0].connected);
+  EXPECT_FALSE(outcome.hosts[0].error.empty());
+  for (const auto owner : outcome.cell_host) EXPECT_EQ(owner, 1);
+}
+
+TEST(Scheduler, StragglerIsRetriedAndItsLateAnswersAreDeduplicated) {
+  // 16 cells in 4 units dealt round-robin: the straggler owns units 0
+  // and 2, so when its delayed unit-0 answers finally arrive the sweep
+  // is still open (unit 2 is queued behind them) and the late frames
+  // must flow through the dedup path rather than the settled-sweep
+  // early exit.
+  auto spec = spec8();
+  spec.seeds.clear();
+  spec.add_seed_range(1, 8);
+  ASSERT_EQ(cell_count(spec), 16u);
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+
+  SchedulerOptions options;
+  options.hosts = {"straggler", "fast"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{
+          {"straggler", {.answer_delay_seconds = 0.5}}});
+  options.cells_per_shard = 4;
+  options.allow_steal = false;
+  options.speculate_after_seconds = 0.05;  // clone the straggler quickly
+  const auto outcome = Scheduler(options).run(spec);
+
+  // No cell is lost or double-counted: the clone's answers win, the
+  // straggler's arrive later and are dropped.
+  expect_all_identical(spec, outcome.results, reference);
+  EXPECT_GE(outcome.pool.speculations, 1u);
+  EXPECT_GE(outcome.pool.duplicates, 1u);
+  EXPECT_FALSE(outcome.hosts[0].died);  // slow, not dead
+  const auto merged = merge_host_reports(spec, outcome);
+  EXPECT_EQ(merged.run_count, outcome.results.size());
+  EXPECT_EQ(merged.failed_count, 0u);
+}
+
+TEST(Scheduler, WedgedFleetTimesOutIntoFailedCount) {
+  const auto spec = spec8();
+  SchedulerOptions options;
+  options.hosts = {"wedged"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{{"wedged", {.black_hole = true}}});
+  options.max_attempts = 1;
+  options.cell_timeout_seconds = 0.3;
+  options.speculate_after_seconds = -1.0;
+  const auto outcome = Scheduler(options).run(spec);
+
+  // Every cell failed loudly; the in-flight unit's cells carry the
+  // abandonment diagnostic, the never-dispatched unit's cells the
+  // no-live-host one. Nothing vanishes.
+  std::size_t abandoned = 0;
+  std::size_t unrouted = 0;
+  for (const auto& result : outcome.results) {
+    EXPECT_EQ(result.status, CellStatus::Failed);
+    if (result.error.find("abandoned") != std::string::npos) ++abandoned;
+    if (result.error.find("no live host") != std::string::npos) ++unrouted;
+  }
+  EXPECT_EQ(abandoned, 4u);  // the unit in flight when the host wedged
+  EXPECT_EQ(unrouted, 4u);   // the unit still queued behind it
+  EXPECT_TRUE(outcome.hosts[0].died);
+  EXPECT_NE(outcome.hosts[0].error.find("timeout"), std::string::npos)
+      << outcome.hosts[0].error;
+  const auto report = merge_host_reports(spec, outcome);
+  EXPECT_EQ(report.failed_count, outcome.results.size());
+  EXPECT_EQ(report.run_count, 0u);
+}
+
+TEST(Scheduler, WholeFleetDeadFailsEveryCellNotSilently) {
+  const auto spec = spec8();
+  SchedulerOptions options;
+  options.hosts = {"down-a", "down-b"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{
+          {"down-a", {.refuse_connect = true}},
+          {"down-b", {.refuse_connect = true}}});
+  const auto outcome = Scheduler(options).run(spec);
+  ASSERT_EQ(outcome.results.size(), cell_count(spec));
+  for (const auto& result : outcome.results) {
+    EXPECT_EQ(result.status, CellStatus::Failed);
+    EXPECT_NE(result.error.find("no live host"), std::string::npos);
+  }
+  EXPECT_EQ(merge_host_reports(spec, outcome).failed_count,
+            outcome.results.size());
+}
+
+// --- report merging ---------------------------------------------------------
+
+TEST(Aggregate, MergeConcurrentTakesMaxWallAndSumsCpu) {
+  const auto spec = spec8();
+  const auto results = BatchEngine({.workers = 1}).run(spec);
+  std::vector<CellResult> even, odd;
+  for (const auto& result : results)
+    (result.cell.index % 2 == 0 ? even : odd).push_back(result);
+
+  auto concurrent = SweepReport::build(spec, even, 4.0);
+  concurrent.merge_concurrent(SweepReport::build(spec, odd, 2.5));
+  EXPECT_EQ(concurrent.wall_seconds, 4.0);  // max: the hosts overlapped
+  EXPECT_EQ(concurrent.run_count, results.size());
+
+  auto sequential = SweepReport::build(spec, even, 4.0);
+  sequential.merge(SweepReport::build(spec, odd, 2.5));
+  EXPECT_EQ(sequential.wall_seconds, 6.5);  // sum: back-to-back shards
+  EXPECT_NEAR(concurrent.cpu_seconds, sequential.cpu_seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace phonoc
