@@ -1,27 +1,53 @@
 /// \file bench_fig3_distributions.cpp
 /// \brief Experiment E1/E2 — paper Fig. 3 (a) and (b).
 ///
-/// For each of the eight multimedia applications, generate a large
+/// For each of the eight multimedia applications, evaluate a large
 /// number of random mapping solutions on the smallest fitting square
 /// mesh with the Crux router (the paper uses 100 000 per application)
 /// and record the probability distribution of the worst-case SNR and
 /// the worst-case power loss.
 ///
+/// The sampling runs through BatchEngine's SweepTaskKind::Sample path:
+/// each application's sample budget is split into `--subcells`
+/// sub-cells (one per seed, seeds `--seed` .. `--seed + subcells - 1`),
+/// every sub-cell evaluates its share with a deterministic per-cell
+/// RNG, and the constant-size DistributionResult payloads (Histogram +
+/// RunningStats per metric) merge in grid order. The merged
+/// distributions are bit-identical whatever the worker count or
+/// backend — `--verify` asserts exactly that against a fresh
+/// in-process run, which is what CI's fork and two-daemon TCP smokes
+/// lean on.
+///
+/// Memory: no raw per-sample vectors are kept (at paper scale those
+/// were 2 x 100k doubles per app); quantiles come from the merged
+/// histograms (linear interpolation inside the crossing bin). Pass
+/// `--exact-quantiles` on small runs to replay the sample streams
+/// in-process and report exact quartiles instead.
+///
 /// Output: a per-application summary table (min / mean / max / stddev /
 /// quartiles) followed by the histogram series in CSV form — the same
 /// data the paper plots as Fig. 3.
 ///
-/// Scale knobs: PHONOC_FIG3_SAMPLES overrides the sample count;
+/// Scale knobs: PHONOC_FIG3_SAMPLES overrides the per-app sample count;
 /// PHONOC_FULL=1 selects the paper's 100 000.
+///
+///     bench_fig3_distributions [--samples=N] [--subcells=K] [--seed=S]
+///                              [--workers=N]
+///                              [--backend=thread|fork|remote]
+///                              [--worker=PATH] [--hosts=EP1,EP2,...]
+///                              [--verify] [--exact-quantiles]
 
-#include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "core/evaluator.hpp"
-#include "core/experiment.hpp"
+#include "exec/batch_engine.hpp"
+#include "exec/fork_exec.hpp"
+#include "exec/sweep.hpp"
 #include "io/csv.hpp"
 #include "io/table_writer.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -29,90 +55,138 @@
 
 namespace {
 
-constexpr double kSnrLo = 0.0;
-constexpr double kSnrHi = 45.0;
-constexpr double kLossLo = -4.5;
-constexpr double kLossHi = 0.0;
-constexpr std::size_t kBins = 30;
+using namespace phonoc;
+
+/// Replay one app's sample streams in-process to collect raw metric
+/// values (the opt-in exact-quantile path; costs a full re-evaluation,
+/// so only sensible at small sample counts).
+void replay_exact(const SweepSpec& spec, std::size_t workload,
+                  std::vector<double>& snr_values,
+                  std::vector<double>& loss_values) {
+  const auto problem =
+      make_problem(spec, SweepCell{.workload = workload});
+  const Evaluator evaluator(problem);
+  for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+    Rng rng(spec.seeds[s]);
+    for (std::uint64_t i = 0; i < spec.sampling.samples_per_cell; ++i) {
+      const auto mapping =
+          Mapping::random(problem.task_count(), problem.tile_count(), rng);
+      const auto result = evaluator.evaluate_raw(mapping);
+      snr_values.push_back(result.worst_snr_db);
+      loss_values.push_back(result.worst_loss_db);
+    }
+  }
+}
+
+/// One app's sub-cells merged in grid (seed) order — the canonical
+/// fold of the bit-identity contract (merge_cell_distributions).
+DistributionResult merge_app(const std::vector<CellResult>& results,
+                             std::size_t workload, std::size_t subcells) {
+  return merge_cell_distributions(results, workload * subcells, subcells);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace phonoc;
   const CliOptions cli(argc, argv);
   const auto samples = static_cast<std::uint64_t>(cli.get_int(
       "samples",
       env_int("PHONOC_FIG3_SAMPLES", full_scale_requested() ? 100000 : 20000)));
+  const auto subcells =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int(
+          "subcells", 8)));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+  const auto backend_name = cli.get_or("backend", "thread");
+  if (backend_name != "thread" && backend_name != "fork" &&
+      backend_name != "remote") {
+    std::cerr << "error: --backend must be 'thread', 'fork' or 'remote'\n";
+    return 1;
+  }
+  const auto per_cell =
+      std::max<std::uint64_t>(1, (samples + subcells - 1) / subcells);
+
+  SweepSpec spec;
+  spec.add_all_benchmarks()
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_seed_range(seed, subcells)
+      .use_sampling({.samples_per_cell = per_cell});
+
+  BatchOptions options{.workers = workers};
+  if (backend_name == "fork") {
+    options.backend = BatchBackend::ForkExec;
+    options.worker_path = cli.get_or("worker", worker_path_near(argv[0]));
+  } else if (backend_name == "remote") {
+    options.backend = BatchBackend::Remote;
+    for (const auto& endpoint :
+         split(cli.get_or("hosts", "loopback,loopback"), ','))
+      if (!trim(endpoint).empty())
+        options.remote_hosts.emplace_back(trim(endpoint));
+  }
+  const BatchEngine engine(options);
 
   std::cout << "# Fig. 3 reproduction: distribution of worst-case SNR and "
                "power loss over\n# "
-            << samples
-            << " random mappings per application (mesh + Crux router)\n\n";
+            << per_cell * subcells << " random mappings per application ("
+            << subcells << " sub-cells x " << per_cell
+            << " samples, mesh + Crux router, backend " << backend_name
+            << ")\n\n";
+
+  Timer timer;
+  const auto results = engine.run(spec);
+  std::size_t failed = 0;
+  for (const auto& result : results)
+    if (result.status == CellStatus::Failed) {
+      std::cerr << "error: cell " << result.cell.index << " ("
+                << cell_label(spec, result.cell) << ") failed: "
+                << result.error << '\n';
+      ++failed;
+    }
+  if (failed > 0) return 1;
 
   TableWriter summary({"app", "tasks", "edges", "grid", "metric", "min",
                        "mean", "max", "stddev", "p25", "p50", "p75"});
   std::vector<std::string> csv_lines;
   CsvWriter csv(std::cout);
-  Timer timer;
 
-  for (const auto& name : benchmark_names()) {
-    ExperimentSpec spec;
-    spec.benchmark = name;
-    const auto problem = make_experiment(spec);
-    const Evaluator evaluator(problem);
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    const auto& name = spec.workloads[w].name;
+    const auto merged = merge_app(results, w, subcells);
 
-    Histogram snr_hist(kSnrLo, kSnrHi, kBins);
-    Histogram loss_hist(kLossLo, kLossHi, kBins);
-    RunningStats snr_stats;
-    RunningStats loss_stats;
-    std::vector<double> snr_values;
-    std::vector<double> loss_values;
-    snr_values.reserve(samples);
-    loss_values.reserve(samples);
+    std::vector<double> exact_snr, exact_loss;
+    if (cli.has("exact-quantiles"))
+      replay_exact(spec, w, exact_snr, exact_loss);
 
-    Rng rng(seed);
-    for (std::uint64_t i = 0; i < samples; ++i) {
-      const auto mapping =
-          Mapping::random(problem.task_count(), problem.tile_count(), rng);
-      const auto result = evaluator.evaluate_raw(mapping);
-      snr_hist.add(result.worst_snr_db);
-      loss_hist.add(result.worst_loss_db);
-      snr_stats.add(result.worst_snr_db);
-      loss_stats.add(result.worst_loss_db);
-      snr_values.push_back(result.worst_snr_db);
-      loss_values.push_back(result.worst_loss_db);
-    }
-
-    const auto grid = std::to_string(problem.network().topology().rows()) +
-                      "x" + std::to_string(problem.network().topology().cols());
+    const auto side = resolved_side(spec, w, 0);
+    const auto grid = std::to_string(side) + "x" + std::to_string(side);
     const auto add_summary = [&](const char* metric,
-                                 const RunningStats& stats,
-                                 std::vector<double>& values) {
-      summary.add_row({name, std::to_string(problem.task_count()),
-                       std::to_string(problem.cg().communication_count()),
-                       grid, metric, format_fixed(stats.min(), 2),
-                       format_fixed(stats.mean(), 2),
-                       format_fixed(stats.max(), 2),
-                       format_fixed(stats.stddev(), 2),
-                       format_fixed(quantile(values, 0.25), 2),
-                       format_fixed(quantile(values, 0.50), 2),
-                       format_fixed(quantile(values, 0.75), 2)});
-    };
-    add_summary("snr_db", snr_stats, snr_values);
-    add_summary("loss_db", loss_stats, loss_values);
-
-    const auto emit_hist = [&](const char* metric, const Histogram& hist) {
-      for (std::size_t b = 0; b < hist.bins(); ++b) {
-        if (hist.count(b) == 0) continue;
+                                 std::vector<double>& exact_values) {
+      const auto* dist = merged.find(metric);
+      const auto q = [&](double p) {
+        return exact_values.empty() ? dist->histogram.quantile(p)
+                                    : quantile(exact_values, p);
+      };
+      summary.add_row({name, std::to_string(spec.workloads[w].cg.task_count()),
+                       std::to_string(
+                           spec.workloads[w].cg.communication_count()),
+                       grid, metric, format_fixed(dist->stats.min(), 2),
+                       format_fixed(dist->stats.mean(), 2),
+                       format_fixed(dist->stats.max(), 2),
+                       format_fixed(dist->stats.stddev(), 2),
+                       format_fixed(q(0.25), 2), format_fixed(q(0.50), 2),
+                       format_fixed(q(0.75), 2)});
+      for (std::size_t b = 0; b < dist->histogram.bins(); ++b) {
+        if (dist->histogram.count(b) == 0) continue;
         csv_lines.push_back(name + std::string(",") + metric + "," +
-                            format_fixed(hist.bin_low(b), 3) + "," +
-                            format_fixed(hist.bin_high(b), 3) + "," +
-                            format_fixed(hist.probability(b), 6));
+                            format_fixed(dist->histogram.bin_low(b), 3) + "," +
+                            format_fixed(dist->histogram.bin_high(b), 3) +
+                            "," +
+                            format_fixed(dist->histogram.probability(b), 6));
       }
     };
-    emit_hist("snr_db", snr_hist);
-    emit_hist("loss_db", loss_hist);
+    add_summary("snr_db", exact_snr);
+    add_summary("loss_db", exact_loss);
   }
 
   std::cout << summary.to_ascii() << '\n';
@@ -120,6 +194,27 @@ int main(int argc, char** argv) {
   csv.header({"app", "metric", "bin_low", "bin_high", "probability"});
   for (const auto& line : csv_lines) std::cout << line << '\n';
   std::cout << "\n# total time: " << format_fixed(timer.elapsed_seconds(), 1)
-            << " s for " << samples << " samples x 8 apps\n";
+            << " s for " << per_cell * subcells << " samples x "
+            << spec.workloads.size() << " apps\n";
+
+  if (cli.has("verify")) {
+    std::cout << "# verifying bit-identity against the in-process backend..."
+              << std::endl;
+    const auto reference = BatchEngine({.workers = workers}).run(spec);
+    std::size_t mismatches = 0;
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+      if (identical_distributions(merge_app(results, w, subcells),
+                                  merge_app(reference, w, subcells)))
+        continue;
+      std::cerr << "error: merged distribution for app '"
+                << spec.workloads[w].name
+                << "' differs from the in-process backend\n";
+      ++mismatches;
+    }
+    if (mismatches > 0) return 1;
+    std::cout << "# determinism check passed: " << spec.workloads.size()
+              << " merged app distributions bit-identical across backends."
+              << std::endl;
+  }
   return 0;
 }

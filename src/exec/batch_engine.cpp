@@ -1,13 +1,17 @@
 #include "exec/batch_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 #include <utility>
 
+#include "core/evaluator.hpp"
 #include "exec/fork_exec.hpp"
 #include "exec/thread_pool.hpp"
 #include "sched/scheduler.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace phonoc {
@@ -40,9 +44,128 @@ build_sweep_problems(const SweepSpec& spec,
   return problems;
 }
 
+void DistributionResult::merge(const DistributionResult& other) {
+  require(metrics.size() == other.metrics.size(),
+          "DistributionResult::merge: metric count mismatch");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    require(metrics[i].metric == other.metrics[i].metric,
+            "DistributionResult::merge: metric name mismatch ('" +
+                metrics[i].metric + "' vs '" + other.metrics[i].metric +
+                "')");
+    metrics[i].histogram.merge(other.metrics[i].histogram);
+    metrics[i].stats.merge(other.metrics[i].stats);
+  }
+  samples += other.samples;
+}
+
+const MetricDistribution* DistributionResult::find(
+    const std::string& metric) const noexcept {
+  for (const auto& m : metrics)
+    if (m.metric == metric) return &m;
+  return nullptr;
+}
+
+DistributionResult merge_cell_distributions(
+    const std::vector<CellResult>& results, std::size_t first,
+    std::size_t count) {
+  require(count > 0 && first + count <= results.size(),
+          "merge_cell_distributions: cell range out of bounds");
+  for (std::size_t i = 0; i < count; ++i)
+    if (results[first + i].status != CellStatus::Ok)
+      throw ExecError("merge_cell_distributions: cell " +
+                      std::to_string(results[first + i].cell.index) +
+                      " failed (" + results[first + i].error +
+                      "); a partial merge would misstate the distribution");
+  DistributionResult merged = results[first].distribution;
+  for (std::size_t i = 1; i < count; ++i)
+    merged.merge(results[first + i].distribution);
+  return merged;
+}
+
+namespace {
+
+/// NaN-of-the-same-sign counts as equal; everything else is bitwise ==.
+bool same_double(double a, double b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::isnan(a) && std::isnan(b) &&
+           std::signbit(a) == std::signbit(b);
+  return a == b;
+}
+
+}  // namespace
+
+bool identical_distributions(const DistributionResult& a,
+                             const DistributionResult& b) {
+  if (a.samples != b.samples || a.metrics.size() != b.metrics.size())
+    return false;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    const auto& x = a.metrics[m];
+    const auto& y = b.metrics[m];
+    if (x.metric != y.metric) return false;
+    const auto& hx = x.histogram;
+    const auto& hy = y.histogram;
+    if (hx.bins() != hy.bins() || !same_double(hx.lo(), hy.lo()) ||
+        !same_double(hx.hi(), hy.hi()) || hx.underflow() != hy.underflow() ||
+        hx.overflow() != hy.overflow() || hx.total() != hy.total())
+      return false;
+    for (std::size_t i = 0; i < hx.bins(); ++i)
+      if (hx.count(i) != hy.count(i)) return false;
+    if (x.stats.count() != y.stats.count() ||
+        !same_double(x.stats.mean(), y.stats.mean()) ||
+        !same_double(x.stats.sum_squared_deviations(),
+                     y.stats.sum_squared_deviations()) ||
+        !same_double(x.stats.min(), y.stats.min()) ||
+        !same_double(x.stats.max(), y.stats.max()))
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// The Sample-kind cell body: samples_per_cell uniform random mappings
+/// on the cell's problem, RNG seeded from the cell's seed value alone
+/// (exactly the Optimize kind's seeding rule, so the determinism
+/// contract carries over unchanged). evaluate_raw records both Fig. 3
+/// metrics of each mapping in one evaluation.
+CellResult run_sample_cell(const SweepSpec& spec, const SweepCell& cell,
+                           const MappingProblem& problem,
+                           const EvaluatorOptions& evaluator_options) {
+  Timer timer;
+  CellResult result;
+  result.cell = cell;
+  result.seed = spec.seeds[cell.seed];
+
+  const auto& s = spec.sampling;
+  result.distribution.metrics = {
+      {"snr_db", Histogram(s.snr_lo_db, s.snr_hi_db, s.snr_bins), {}},
+      {"loss_db", Histogram(s.loss_lo_db, s.loss_hi_db, s.loss_bins), {}}};
+  auto& snr = result.distribution.metrics[0];
+  auto& loss = result.distribution.metrics[1];
+
+  const Evaluator evaluator(problem, evaluator_options);
+  Rng rng(result.seed);
+  for (std::uint64_t i = 0; i < s.samples_per_cell; ++i) {
+    const auto mapping =
+        Mapping::random(problem.task_count(), problem.tile_count(), rng);
+    const auto evaluation = evaluator.evaluate_raw(mapping);
+    snr.histogram.add(evaluation.worst_snr_db);
+    snr.stats.add(evaluation.worst_snr_db);
+    loss.histogram.add(evaluation.worst_loss_db);
+    loss.stats.add(evaluation.worst_loss_db);
+  }
+  result.distribution.samples = s.samples_per_cell;
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
 CellResult run_sweep_cell(const SweepSpec& spec, const SweepCell& cell,
                           const MappingProblem& problem,
                           const EvaluatorOptions& evaluator) {
+  if (spec.task_kind == SweepTaskKind::Sample)
+    return run_sample_cell(spec, cell, problem, evaluator);
   Timer timer;
   CellResult result;
   result.cell = cell;

@@ -11,7 +11,10 @@
 /// list alone), the shared problems are immutable after construction,
 /// and every cell writes only its own pre-allocated result slot. Only
 /// the timing fields (`seconds`, OptimizerResult::seconds) vary between
-/// runs.
+/// runs. The contract covers both task kinds: Sample cells draw their
+/// random mappings from a per-cell Rng seeded by the cell's seed value,
+/// so a sampling grid's merged distributions are bit-identical across
+/// worker counts and backends too.
 
 #include <cstdint>
 #include <functional>
@@ -23,6 +26,7 @@
 
 #include "core/engine.hpp"
 #include "exec/sweep.hpp"
+#include "util/stats.hpp"
 
 namespace phonoc {
 
@@ -80,19 +84,70 @@ struct BatchOptions {
 
 /// Terminal state of one grid cell.
 enum class CellStatus {
-  Ok,      ///< the optimizer ran to completion; `run` is valid
+  Ok,      ///< the cell ran to completion; its kind's payload is valid
   Failed,  ///< the cell's worker died (or never ran); see `error`
 };
 
-/// Outcome of one grid cell.
+/// Distribution of one metric over a cell's random-mapping samples:
+/// the binned shape plus the streaming moments/extrema. Both halves
+/// merge exactly (Histogram::merge / RunningStats::merge), so
+/// split-sample sub-cells recombine into the single-pass result.
+struct MetricDistribution {
+  std::string metric;  ///< "snr_db" or "loss_db" (single-token names)
+  Histogram histogram{0.0, 1.0, 1};
+  RunningStats stats;
+};
+
+/// Payload of a SweepTaskKind::Sample cell: constant-size whatever the
+/// per-cell sample count, so 100k-sample cells stream over the same
+/// wire as optimizer runs. Merge order does not change the counts and
+/// changes the RunningStats only through float association — merging
+/// in a fixed (grid) order is what keeps distributed runs bit-identical
+/// to in-process ones.
+struct DistributionResult {
+  std::uint64_t samples = 0;  ///< random mappings folded in
+  std::vector<MetricDistribution> metrics;
+
+  /// Fold another shard of the same experiment in. Metric lists must
+  /// match by position and name (InvalidArgument otherwise); histogram
+  /// binning mismatches throw from Histogram::merge.
+  void merge(const DistributionResult& other);
+
+  /// The named metric, or nullptr when absent.
+  [[nodiscard]] const MetricDistribution* find(const std::string& metric)
+      const noexcept;
+};
+
+/// Exact equality of two distributions — the bit-identity contract's
+/// comparator: counts and accumulator doubles must match bitwise, with
+/// NaN defined to equal NaN of the same sign (the wire format
+/// canonicalizes NaN payloads, and one ±Inf sample legitimately drives
+/// a Welford accumulator to Inf/NaN).
+[[nodiscard]] bool identical_distributions(const DistributionResult& a,
+                                           const DistributionResult& b);
+
+/// Outcome of one grid cell. Which payload is valid follows the spec's
+/// task kind: Optimize fills `run`, Sample fills `distribution` (both
+/// only when status == CellStatus::Ok).
 struct CellResult {
   SweepCell cell;
   std::uint64_t seed = 0;  ///< the actual seed value (spec.seeds[cell.seed])
-  RunResult run;           ///< valid only when status == CellStatus::Ok
+  RunResult run;           ///< Optimize payload
+  DistributionResult distribution;  ///< Sample payload
   double seconds = 0.0;    ///< wall time of this cell (informational)
   CellStatus status = CellStatus::Ok;
   std::string error;       ///< diagnostic for Failed cells
 };
+
+/// Merge the distributions of `count` consecutive grid cells starting
+/// at `first` — the canonical sub-cell fold: always in grid (seed)
+/// order, which is what makes merged results bit-identical across
+/// worker counts and backends. All cells must be Ok (ExecError
+/// otherwise: merging around a failed shard would silently change the
+/// sample population).
+[[nodiscard]] DistributionResult merge_cell_distributions(
+    const std::vector<CellResult>& results, std::size_t first,
+    std::size_t count);
 
 /// Problems shared by cells that differ only in optimizer/budget/seed,
 /// keyed by (workload, topology, goal). Built sequentially before a
@@ -106,7 +161,12 @@ using SweepProblemKey = std::tuple<std::size_t, std::size_t, std::size_t>;
 build_sweep_problems(const SweepSpec& spec,
                      const std::vector<SweepCell>& cells);
 
-/// Execute one cell (the shared per-cell code path of every backend).
+/// Execute one cell (the shared per-cell code path of every backend),
+/// dispatching on the spec's task kind: Optimize runs the cell's
+/// optimizer, Sample evaluates `spec.sampling.samples_per_cell` random
+/// mappings with an Rng seeded from the cell's seed value alone and
+/// accumulates the Fig. 3 metric distributions. Either way the outcome
+/// depends only on (spec, cell), never on worker count or backend.
 [[nodiscard]] CellResult run_sweep_cell(const SweepSpec& spec,
                                         const SweepCell& cell,
                                         const MappingProblem& problem,

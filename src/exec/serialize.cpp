@@ -43,6 +43,11 @@ class LineReader {
   /// required for free-text payloads (`failed` diagnostics, `workload`
   /// names) that may legitimately contain '#'.
   std::optional<std::string> next(bool keep_inline_comment = false) {
+    if (pending_) {
+      auto line = std::move(*pending_);
+      pending_.reset();
+      return line;
+    }
     std::string line;
     while (std::getline(in_, line)) {
       ++line_no_;
@@ -74,10 +79,16 @@ class LineReader {
     return fields;
   }
 
+  /// Give back an already-consumed (stripped) line; the next next()
+  /// returns it again. One level deep — enough to peek at an optional
+  /// directive and step back when it is something else.
+  void push_back(std::string line) { pending_ = std::move(line); }
+
   [[nodiscard]] int line() const noexcept { return line_no_; }
 
  private:
   std::istream& in_;
+  std::optional<std::string> pending_;
   int line_no_ = 0;
 };
 
@@ -163,6 +174,17 @@ void write_spec(std::ostream& out, const SweepSpec& spec) {
   out << "model " << fidelity_name(spec.model_options.fidelity) << ' '
       << conflict_name(spec.model_options.conflict_policy) << ' '
       << format_double(spec.model_options.snr_ceiling_db) << '\n';
+  // Emitted only for Sample grids so Optimize shards stay byte-identical
+  // to what pre-sampling readers expect (new readers accept both).
+  if (spec.task_kind == SweepTaskKind::Sample) {
+    out << "task_kind sample\n";
+    const auto& s = spec.sampling;
+    out << "sampling " << s.samples_per_cell;
+    write_doubles(out, {s.snr_lo_db, s.snr_hi_db});
+    out << ' ' << s.snr_bins;
+    write_doubles(out, {s.loss_lo_db, s.loss_hi_db});
+    out << ' ' << s.loss_bins << '\n';
+  }
 
   out << "goals " << spec.goals.size();
   for (const auto goal : spec.goals) out << ' ' << to_string(goal);
@@ -220,6 +242,37 @@ SweepSpec read_spec_body(LineReader& reader) {
   spec.model_options.conflict_policy = parse_conflict(fields[2],
                                                       reader.line());
   spec.model_options.snr_ceiling_db = parse_double(fields[3], reader.line());
+
+  // Optional task-kind block (absent in Optimize shards, so streams
+  // written before the Sample kind existed still parse).
+  {
+    const auto line = reader.require_line("task_kind or goals");
+    const auto peek = split_ws(line);
+    if (!peek.empty() && peek[0] == "task_kind") {
+      check_arity(peek, 2, reader.line());
+      if (peek[1] == "sample")
+        spec.task_kind = SweepTaskKind::Sample;
+      else if (peek[1] == "optimize")
+        spec.task_kind = SweepTaskKind::Optimize;
+      else
+        throw ParseError("unknown task kind '" + peek[1] + "'",
+                         reader.line());
+      if (spec.task_kind == SweepTaskKind::Sample) {
+        fields = reader.expect("sampling");
+        check_arity(fields, 8, reader.line());
+        auto& s = spec.sampling;
+        s.samples_per_cell = parse_u64(fields[1], reader.line());
+        s.snr_lo_db = parse_double(fields[2], reader.line());
+        s.snr_hi_db = parse_double(fields[3], reader.line());
+        s.snr_bins = parse_size(fields[4], reader.line());
+        s.loss_lo_db = parse_double(fields[5], reader.line());
+        s.loss_hi_db = parse_double(fields[6], reader.line());
+        s.loss_bins = parse_size(fields[7], reader.line());
+      }
+    } else {
+      reader.push_back(line);
+    }
+  }
 
   fields = reader.expect("goals");
   if (fields.size() < 2)
@@ -381,6 +434,28 @@ void write_cell_result(std::ostream& out, const CellResult& result) {
     out << "end_cell\n";
     return;
   }
+  if (!result.distribution.metrics.empty()) {
+    // Sample-kind payload: constant-size whatever the sample count.
+    const auto& d = result.distribution;
+    out << "distribution " << d.samples << ' ' << d.metrics.size() << '\n';
+    for (const auto& m : d.metrics) {
+      const auto& st = m.stats;
+      out << "metric " << m.metric << ' ' << st.count();
+      write_doubles(out, {st.mean(), st.sum_squared_deviations(), st.min(),
+                          st.max()});
+      out << '\n';
+      const auto& h = m.histogram;
+      out << "hist";
+      write_doubles(out, {h.lo(), h.hi()});
+      out << ' ' << h.bins() << ' ' << h.underflow() << ' ' << h.overflow()
+          << '\n';
+      out << "counts";
+      for (std::size_t b = 0; b < h.bins(); ++b) out << ' ' << h.count(b);
+      out << '\n';
+    }
+    out << "end_cell\n";
+    return;
+  }
   out << "algorithm " << result.run.algorithm << '\n';
   const auto& s = result.run.search;
   out << "mapping " << s.best.tile_count() << ' ' << s.best.task_count();
@@ -442,8 +517,47 @@ std::optional<CellResult> read_cell_result(std::istream& in) {
     check_arity(fields, 1, reader.line());
     return result;
   }
+  if (status_fields[0] == "distribution") {
+    check_arity(status_fields, 3, reader.line());
+    auto& d = result.distribution;
+    d.samples = parse_u64(status_fields[1], reader.line());
+    const auto metric_count = parse_size(status_fields[2], reader.line());
+    d.metrics.reserve(metric_count);
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      fields = reader.expect("metric");
+      check_arity(fields, 7, reader.line());
+      MetricDistribution metric;
+      metric.metric = fields[1];
+      metric.stats = RunningStats::from_parts(
+          parse_size(fields[2], reader.line()),
+          parse_double(fields[3], reader.line()),
+          parse_double(fields[4], reader.line()),
+          parse_double(fields[5], reader.line()),
+          parse_double(fields[6], reader.line()));
+      fields = reader.expect("hist");
+      check_arity(fields, 6, reader.line());
+      const double lo = parse_double(fields[1], reader.line());
+      const double hi = parse_double(fields[2], reader.line());
+      const auto bins = parse_size(fields[3], reader.line());
+      const auto underflow = parse_size(fields[4], reader.line());
+      const auto overflow = parse_size(fields[5], reader.line());
+      fields = reader.expect("counts");
+      check_arity(fields, 1 + bins, reader.line());
+      std::vector<std::size_t> counts;
+      counts.reserve(bins);
+      for (std::size_t b = 0; b < bins; ++b)
+        counts.push_back(parse_size(fields[1 + b], reader.line()));
+      metric.histogram = Histogram::from_parts(lo, hi, std::move(counts),
+                                               underflow, overflow);
+      d.metrics.push_back(std::move(metric));
+    }
+    fields = reader.expect("end_cell");
+    check_arity(fields, 1, reader.line());
+    return result;
+  }
   if (status_fields[0] != "algorithm")
-    throw ParseError("expected 'algorithm' or 'failed' directive",
+    throw ParseError("expected 'algorithm', 'distribution' or 'failed' "
+                     "directive",
                      reader.line());
   check_arity(status_fields, 2, reader.line());
   result.run.algorithm = status_fields[1];

@@ -59,7 +59,9 @@ void write_shard(std::ostream& out, const SweepShard& shard);
 
 /// One cell outcome as a self-delimited block (`phonoc-cell v1` ...
 /// `end_cell`). Failed cells carry only coordinates, seed and the error
-/// message; Ok cells carry the full RunResult.
+/// message; Ok cells carry the task kind's payload — the full RunResult
+/// (Optimize) or the `DistributionResult` histogram/stats block
+/// (Sample), both round-tripping bit-exactly.
 void write_cell_result(std::ostream& out, const CellResult& result);
 
 /// Read the next cell block. Returns nullopt on clean end-of-stream

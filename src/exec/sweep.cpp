@@ -64,6 +64,14 @@ SweepSpec& SweepSpec::add_seed_range(std::uint64_t first, std::size_t count) {
   return *this;
 }
 
+SweepSpec& SweepSpec::use_sampling(const SamplingSpec& sampling_spec) {
+  task_kind = SweepTaskKind::Sample;
+  sampling = sampling_spec;
+  if (optimizers.empty()) optimizers.push_back("sample");
+  if (budgets.empty()) add_budget(0);
+  return *this;
+}
+
 std::size_t cell_count(const SweepSpec& spec) {
   return spec.workloads.size() * spec.topologies.size() * spec.goals.size() *
          spec.optimizers.size() * spec.budgets.size() * spec.seeds.size();

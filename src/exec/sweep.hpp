@@ -36,6 +36,37 @@ struct SweepTopology {
   std::uint32_t side = 0;
 };
 
+/// What a grid cell *does*. The kind rides on the spec (every cell of
+/// one sweep shares it) and dispatches run_sweep_cell:
+///  - Optimize: run the cell's optimizer under its budget and return a
+///    full RunResult (the Table-2 shape; the original pipeline).
+///  - Sample:   evaluate SamplingSpec::samples_per_cell uniform random
+///    mappings with an RNG seeded from the cell's seed value alone and
+///    return a DistributionResult (mergeable Histogram + RunningStats
+///    per metric, the paper's Fig. 3 shape). The seed dimension acts as
+///    the sub-cell axis: K seeds split one app's sample budget into K
+///    independently executable, deterministically mergeable cells whose
+///    results are constant-size whatever samples_per_cell is.
+enum class SweepTaskKind {
+  Optimize,
+  Sample,
+};
+
+/// Sampling knobs of SweepTaskKind::Sample cells. The two recorded
+/// metrics are the paper's Fig. 3 pair: worst-case SNR and worst-case
+/// power loss of each random mapping. Defaults match the Fig. 3
+/// reproduction's histogram ranges.
+struct SamplingSpec {
+  /// Random mappings evaluated per grid cell (per seed).
+  std::uint64_t samples_per_cell = 1000;
+  double snr_lo_db = 0.0;    ///< SNR histogram range [lo, hi)
+  double snr_hi_db = 45.0;
+  std::size_t snr_bins = 30;
+  double loss_lo_db = -4.5;  ///< power-loss histogram range [lo, hi)
+  double loss_hi_db = 0.0;
+  std::size_t loss_bins = 30;
+};
+
 /// Declarative sweep: the cartesian product of the six dimension lists.
 /// An empty dimension makes the grid empty (cell_count() == 0).
 struct SweepSpec {
@@ -52,6 +83,14 @@ struct SweepSpec {
   PhysicalParameters parameters = PhysicalParameters::paper_defaults();
   NetworkModelOptions model_options = {};
 
+  /// What every cell of this grid does (see SweepTaskKind). Sample
+  /// grids keep the full six-dimension row-major identity; the
+  /// optimizer and budget dimensions are carried but unused, so declare
+  /// them with one placeholder entry each (use_sampling() does).
+  SweepTaskKind task_kind = SweepTaskKind::Optimize;
+  /// Sampling knobs; meaningful only for SweepTaskKind::Sample.
+  SamplingSpec sampling{};
+
   // Builder-style helpers so specs read declaratively at call sites.
   SweepSpec& add_benchmark(const std::string& name);
   SweepSpec& add_all_benchmarks();
@@ -65,6 +104,10 @@ struct SweepSpec {
   SweepSpec& add_seed(std::uint64_t seed);
   /// Seeds first, first+1, ..., first+count-1.
   SweepSpec& add_seed_range(std::uint64_t first, std::size_t count);
+  /// Switch the grid to SweepTaskKind::Sample with these knobs. The
+  /// unused optimizer/budget dimensions get one placeholder entry each
+  /// (when still empty) so the grid stays non-degenerate.
+  SweepSpec& use_sampling(const SamplingSpec& sampling);
 };
 
 /// Coordinates of one grid cell: indices into the spec's dimension lists

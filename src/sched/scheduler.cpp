@@ -50,6 +50,28 @@ void abandon(DriverContext& ctx, std::size_t host,
                          " attempt(s); last host error: " + reason);
 }
 
+/// Parse the worker's hello reply. Accepted shapes: the bare
+/// `kSchedHello` (a peer predating optional fields ⇒ capacity 1) or
+/// `kSchedHello key value ...` with unknown keys ignored (forward
+/// compatibility). Returns false on a version mismatch.
+bool parse_hello_reply(const std::string& payload, std::size_t& capacity) {
+  capacity = 1;
+  if (payload == kSchedHello) return true;
+  const std::string prefix = std::string(kSchedHello) + " ";
+  if (!starts_with(payload, prefix)) return false;
+  const auto fields = split_ws(payload.substr(prefix.size()));
+  for (std::size_t i = 0; i + 1 < fields.size(); i += 2) {
+    if (fields[i] != "capacity") continue;
+    try {
+      const long value = parse_long(fields[i + 1]);
+      if (value > 0) capacity = static_cast<std::size_t>(value);
+    } catch (const ParseError&) {
+      // A garbled field is not worth killing the host over: keep 1.
+    }
+  }
+  return true;
+}
+
 enum class UnitOutcome { Done, HostDead, SweepSettled };
 
 /// Drain one in-flight unit: cell frames (first answer wins) until the
@@ -179,7 +201,7 @@ void drive_host(DriverContext ctx, std::size_t host, Transport& transport,
     report.error = e.what();
   }
   if (hello.status != Connection::RecvStatus::Ok ||
-      hello.payload != kSchedHello) {
+      !parse_hello_reply(hello.payload, report.capacity)) {
     die(hello.status == Connection::RecvStatus::Ok
             ? "handshake mismatch: got '" + hello.payload + "'"
             : "no handshake within " +
@@ -279,7 +301,8 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   for (const auto& host : outcome.hosts)
     log_info() << "sched: host '" << host.endpoint << "' "
                << (host.connected ? (host.died ? "died" : "ok") : "unreachable")
-               << ": " << host.shards << " shard(s), " << host.cells_ok
+               << " (capacity " << host.capacity << "): "
+               << host.shards << " shard(s), " << host.cells_ok
                << " ok, " << host.cells_failed << " failed, "
                << host.duplicates << " duplicate(s), "
                << format_fixed(host.cpu_seconds, 2) << " s cpu / "

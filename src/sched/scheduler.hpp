@@ -67,6 +67,12 @@ struct HostReport {
   bool connected = false;    ///< dial + handshake succeeded
   bool died = false;         ///< failed or timed out mid-sweep
   std::string error;         ///< diagnostic when !connected or died
+  /// Worker-advertised capacity (hardware threads) from the hello
+  /// reply's optional `capacity N` field; peers predating the field
+  /// send a bare hello and count as 1. Recorded as groundwork for
+  /// capacity-weighted unit dealing (see ROADMAP "parallel worker
+  /// daemons") — the deal is still round-robin today.
+  std::size_t capacity = 1;
   std::size_t shards = 0;    ///< work units served to completion
   std::size_t cells_ok = 0;  ///< accepted Ok results
   std::size_t cells_failed = 0;  ///< accepted worker-reported failures

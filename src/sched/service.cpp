@@ -7,11 +7,13 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "exec/batch_engine.hpp"
 #include "exec/serialize.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace phonoc {
 namespace {
@@ -99,15 +101,28 @@ std::size_t serve_connection(Connection& conn, const ServiceOptions& options) {
     return protocol_error(conn, cells_served,
                           std::string("unframed handshake: ") + e.what());
   }
-  if (hello.status != Connection::RecvStatus::Ok ||
-      hello.payload != kSchedHello)
+  // Prefix match: a scheduler may append fields after the version token
+  // (as this side does with `capacity`), and those must not look like a
+  // version mismatch to an older worker.
+  const bool hello_ok =
+      hello.status == Connection::RecvStatus::Ok &&
+      (hello.payload == kSchedHello ||
+       starts_with(hello.payload, std::string(kSchedHello) + " "));
+  if (!hello_ok)
     return protocol_error(
         conn, cells_served,
         hello.status == Connection::RecvStatus::Ok
             ? "handshake mismatch: got '" + hello.payload + "', want '" +
                   kSchedHello + "'"
             : "peer vanished before the handshake");
-  if (!conn.send(kSchedHello)) return cells_served;
+  std::size_t capacity = options.advertised_capacity;
+  if (capacity == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    capacity = hardware > 0 ? hardware : 1;
+  }
+  if (!conn.send(std::string(kSchedHello) + " capacity " +
+                 std::to_string(capacity)))
+    return cells_served;
 
   SpecCache cache;
   for (;;) {

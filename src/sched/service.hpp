@@ -28,6 +28,13 @@ struct ServiceOptions {
   /// results (counted across shards); < 0 disables. This is the
   /// injected mid-sweep worker death the scheduler must recover from.
   long crash_after_cells = -1;
+  /// Worker capacity advertised in the hello reply ("hello ... capacity
+  /// N"): how many cells this worker could usefully run at once. 0 =
+  /// the hardware thread count. Schedulers parse it into
+  /// HostReport::capacity (groundwork for capacity-weighted dealing);
+  /// peers predating the field send a bare hello and are taken as
+  /// capacity 1.
+  std::size_t advertised_capacity = 0;
 };
 
 /// Serve one scheduler connection to completion; returns the number of

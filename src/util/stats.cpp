@@ -37,6 +37,17 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   n_ += other.n_;
 }
 
+RunningStats RunningStats::from_parts(std::size_t n, double mean, double m2,
+                                      double min, double max) noexcept {
+  RunningStats stats;
+  stats.n_ = n;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double RunningStats::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
@@ -65,6 +76,31 @@ void Histogram::add(double value) noexcept {
   ++counts_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+  require(lo_ == other.lo_ && hi_ == other.hi_,
+          "Histogram::merge: range mismatch");
+  require(counts_.size() == other.counts_.size(),
+          "Histogram::merge: bin count mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+Histogram Histogram::from_parts(double lo, double hi,
+                                std::vector<std::size_t> counts,
+                                std::size_t underflow, std::size_t overflow) {
+  Histogram hist(lo, hi, counts.empty() ? 1 : counts.size());
+  require(!counts.empty(), "Histogram::from_parts requires at least one bin");
+  hist.counts_ = std::move(counts);
+  hist.underflow_ = underflow;
+  hist.overflow_ = overflow;
+  hist.total_ = underflow + overflow;
+  for (const auto c : hist.counts_) hist.total_ += c;
+  return hist;
+}
+
 double Histogram::bin_low(std::size_t i) const noexcept {
   return lo_ + bin_width_ * static_cast<double>(i);
 }
@@ -86,6 +122,22 @@ double Histogram::cumulative(std::size_t i) const noexcept {
   std::size_t acc = underflow_;
   for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) acc += counts_[b];
   return total_ ? static_cast<double>(acc) / static_cast<double>(total_) : 0.0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (target <= acc) return lo_;  // mass below range: its values are unknown
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto count = static_cast<double>(counts_[i]);
+    if (count > 0.0 && target <= acc + count)
+      return bin_low(i) + bin_width_ * ((target - acc) / count);
+    acc += count;
+  }
+  return hi_;  // mass at or above hi
 }
 
 std::string Histogram::ascii_chart(std::size_t width) const {

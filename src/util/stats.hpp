@@ -26,6 +26,20 @@ class RunningStats {
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
 
+  /// Raw Welford sum of squared deviations (the m2 accumulator).
+  /// Exposed so the accumulator state can cross a process boundary and
+  /// merge bit-exactly on the other side (exec/serialize round-trips
+  /// it with format_double).
+  [[nodiscard]] double sum_squared_deviations() const noexcept { return m2_; }
+
+  /// Rebuild an accumulator from its serialized state. The inverse of
+  /// reading {count, mean, sum_squared_deviations, min, max}: with
+  /// bit-exact doubles the restored accumulator merges identically to
+  /// the original.
+  [[nodiscard]] static RunningStats from_parts(std::size_t n, double mean,
+                                               double m2, double min,
+                                               double max) noexcept;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -43,6 +57,22 @@ class Histogram {
 
   void add(double value) noexcept;
 
+  /// Fold another histogram into this one. Requires an identical
+  /// binning — bit-equal lo/hi and the same bin count — so shards of
+  /// one sampling experiment merge exactly; anything else throws
+  /// InvalidArgument (merging across binnings would silently smear
+  /// probability mass).
+  void merge(const Histogram& other);
+
+  /// Rebuild a histogram from its serialized state (counts plus the
+  /// under/overflow counters); `total()` is recomputed as their sum.
+  [[nodiscard]] static Histogram from_parts(double lo, double hi,
+                                            std::vector<std::size_t> counts,
+                                            std::size_t underflow,
+                                            std::size_t overflow);
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] double bin_low(std::size_t i) const noexcept;
   [[nodiscard]] double bin_high(std::size_t i) const noexcept;
@@ -57,6 +87,14 @@ class Histogram {
 
   /// Cumulative probability up to and including bin i.
   [[nodiscard]] double cumulative(std::size_t i) const noexcept;
+
+  /// Approximate quantile from the binned counts (linear interpolation
+  /// inside the bin where the cumulative mass crosses `q`). Mass in the
+  /// underflow bin resolves to lo(), overflow to hi() — the histogram
+  /// cannot know those values. Empty histogram returns 0. This is what
+  /// lets sampling runs report quartiles without keeping the raw
+  /// sample vectors around.
+  [[nodiscard]] double quantile(double q) const noexcept;
 
   /// Render a compact fixed-width ASCII chart (one row per bin), used by
   /// the Fig. 3 harness for terminal inspection.

@@ -581,6 +581,234 @@ TEST(ForkExec, MissingWorkerBinaryFailsFast) {
                ExecError);
 }
 
+// --- the Sample task kind ---------------------------------------------------
+
+/// 2 apps x 4 sub-cells (seeds), 50 random mappings per sub-cell. The
+/// optimizer/budget dimensions are the use_sampling() placeholders.
+SweepSpec sampling_spec() {
+  SweepSpec spec;
+  spec.add_workload("p5", pipeline_cg(5))
+      .add_workload("r7", random_cg({.tasks = 7,
+                                     .avg_out_degree = 1.6,
+                                     .min_bandwidth = 8,
+                                     .max_bandwidth = 128,
+                                     .seed = 19,
+                                     .acyclic = false}))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_seed_range(5, 4)
+      .use_sampling({.samples_per_cell = 50});
+  return spec;
+}
+
+/// Exact double equality with well-defined NaN handling: NaNs match
+/// NaNs of the same sign (the wire format's canonicalization contract),
+/// everything else must be == (bitwise for round-tripped values).
+void expect_same_double(double got, double want) {
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got));
+    EXPECT_EQ(std::signbit(got), std::signbit(want));
+  } else {
+    EXPECT_EQ(got, want);
+  }
+}
+
+void expect_identical_distribution(const DistributionResult& got,
+                                   const DistributionResult& want) {
+  EXPECT_EQ(got.samples, want.samples);
+  ASSERT_EQ(got.metrics.size(), want.metrics.size());
+  for (std::size_t m = 0; m < got.metrics.size(); ++m) {
+    const auto& g = got.metrics[m];
+    const auto& w = want.metrics[m];
+    EXPECT_EQ(g.metric, w.metric);
+    ASSERT_EQ(g.histogram.bins(), w.histogram.bins());
+    EXPECT_EQ(g.histogram.lo(), w.histogram.lo());  // bitwise
+    EXPECT_EQ(g.histogram.hi(), w.histogram.hi());
+    EXPECT_EQ(g.histogram.underflow(), w.histogram.underflow());
+    EXPECT_EQ(g.histogram.overflow(), w.histogram.overflow());
+    EXPECT_EQ(g.histogram.total(), w.histogram.total());
+    for (std::size_t b = 0; b < g.histogram.bins(); ++b)
+      EXPECT_EQ(g.histogram.count(b), w.histogram.count(b)) << "bin " << b;
+    EXPECT_EQ(g.stats.count(), w.stats.count());
+    expect_same_double(g.stats.mean(), w.stats.mean());
+    expect_same_double(g.stats.sum_squared_deviations(),
+                       w.stats.sum_squared_deviations());
+    expect_same_double(g.stats.min(), w.stats.min());
+    expect_same_double(g.stats.max(), w.stats.max());
+  }
+}
+
+/// Merge one workload's sub-cell distributions in grid (seed) order.
+DistributionResult merge_workload(const SweepSpec& spec,
+                                  const std::vector<CellResult>& results,
+                                  std::size_t workload) {
+  const auto subcells = spec.seeds.size();
+  return merge_cell_distributions(results, workload * subcells, subcells);
+}
+
+TEST(SampleKind, MergedDistributionsBitIdenticalAcrossWorkersAndBackends) {
+  const auto spec = sampling_spec();
+  ASSERT_EQ(cell_count(spec), 8u);
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+  for (const auto& cell : reference) {
+    ASSERT_EQ(cell.status, CellStatus::Ok) << cell.error;
+    EXPECT_EQ(cell.distribution.samples,
+              spec.sampling.samples_per_cell);
+    ASSERT_EQ(cell.distribution.metrics.size(), 2u);
+    EXPECT_EQ(cell.distribution.metrics[0].metric, "snr_db");
+    EXPECT_EQ(cell.distribution.metrics[1].metric, "loss_db");
+    EXPECT_EQ(cell.distribution.metrics[0].stats.count(),
+              spec.sampling.samples_per_cell);
+  }
+
+  // The acceptance property: per-cell and merged distributions are
+  // bit-identical for workers {1, 2, 8} on the in-process pool and
+  // through fork/exec worker processes.
+  std::vector<std::vector<CellResult>> runs;
+  for (const std::size_t workers : {2u, 8u})
+    runs.push_back(BatchEngine({.workers = workers}).run(spec));
+  for (const std::size_t workers : {1u, 4u})
+    runs.push_back(BatchEngine({.workers = workers,
+                                .backend = BatchBackend::ForkExec,
+                                .worker_path = PHONOC_WORKER_PATH})
+                       .run(spec));
+  for (const auto& run : runs) {
+    ASSERT_EQ(run.size(), reference.size());
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      ASSERT_EQ(run[i].status, CellStatus::Ok) << run[i].error;
+      EXPECT_EQ(run[i].seed, reference[i].seed);
+      expect_identical_distribution(run[i].distribution,
+                                    reference[i].distribution);
+    }
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w)
+      expect_identical_distribution(merge_workload(spec, run, w),
+                                    merge_workload(spec, reference, w));
+  }
+
+  // Merging the sub-cells really yields the whole app's sample count,
+  // and the library comparator agrees with the gtest one.
+  const auto merged = merge_workload(spec, reference, 0);
+  EXPECT_EQ(merged.samples,
+            spec.sampling.samples_per_cell * spec.seeds.size());
+  EXPECT_EQ(merged.find("snr_db")->stats.count(), merged.samples);
+  EXPECT_EQ(merged.find("missing"), nullptr);
+  EXPECT_TRUE(identical_distributions(merged,
+                                      merge_workload(spec, runs[0], 0)));
+  EXPECT_FALSE(identical_distributions(merged,
+                                       reference[0].distribution));
+
+  // The canonical fold refuses to merge around a failed sub-cell.
+  auto broken = reference;
+  broken[1].status = CellStatus::Failed;
+  broken[1].error = "injected";
+  EXPECT_THROW((void)merge_workload(spec, broken, 0), ExecError);
+}
+
+TEST(SampleKind, DistributionMergeRejectsForeignShapes) {
+  DistributionResult a;
+  a.metrics = {{"snr_db", Histogram(0.0, 45.0, 30), {}}};
+  DistributionResult wrong_name;
+  wrong_name.metrics = {{"loss_db", Histogram(0.0, 45.0, 30), {}}};
+  EXPECT_THROW(a.merge(wrong_name), InvalidArgument);
+  DistributionResult wrong_count;
+  EXPECT_THROW(a.merge(wrong_count), InvalidArgument);
+  DistributionResult wrong_bins;
+  wrong_bins.metrics = {{"snr_db", Histogram(0.0, 45.0, 60), {}}};
+  EXPECT_THROW(a.merge(wrong_bins), InvalidArgument);
+}
+
+TEST(Serialize, SamplingShardRoundTripsTaskKindAndKnobs) {
+  SweepShard shard;
+  shard.spec = sampling_spec();
+  shard.spec.sampling.snr_lo_db = -2.25;
+  shard.spec.sampling.snr_bins = 17;
+  shard.spec.sampling.loss_hi_db = 0.5;
+  shard.begin = 2;
+  shard.end = 6;
+  std::ostringstream out;
+  write_shard(out, shard);
+  std::istringstream in(out.str());
+  const auto parsed = read_shard(in);
+  EXPECT_EQ(parsed.spec.task_kind, SweepTaskKind::Sample);
+  const auto& a = shard.spec.sampling;
+  const auto& b = parsed.spec.sampling;
+  EXPECT_EQ(b.samples_per_cell, a.samples_per_cell);
+  EXPECT_EQ(b.snr_lo_db, a.snr_lo_db);  // bitwise
+  EXPECT_EQ(b.snr_hi_db, a.snr_hi_db);
+  EXPECT_EQ(b.snr_bins, a.snr_bins);
+  EXPECT_EQ(b.loss_lo_db, a.loss_lo_db);
+  EXPECT_EQ(b.loss_hi_db, a.loss_hi_db);
+  EXPECT_EQ(b.loss_bins, a.loss_bins);
+  EXPECT_EQ(parsed.spec.optimizers, shard.spec.optimizers);  // placeholder
+
+  // An Optimize-kind shard carries no task_kind directive at all, so
+  // pre-sampling readers keep parsing it (and ours defaults the kind).
+  SweepShard optimize;
+  optimize.spec = tiny_spec();
+  std::ostringstream optimize_out;
+  write_shard(optimize_out, optimize);
+  EXPECT_EQ(optimize_out.str().find("task_kind"), std::string::npos);
+  std::istringstream optimize_in(optimize_out.str());
+  EXPECT_EQ(read_shard(optimize_in).spec.task_kind, SweepTaskKind::Optimize);
+}
+
+TEST(Serialize, DistributionResultRoundTripsBitForBitIncludingNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  CellResult cell;
+  cell.cell = {.index = 3, .workload = 1, .topology = 0, .goal = 0,
+               .optimizer = 0, .budget = 0, .seed = 3};
+  cell.seed = 8;
+  cell.seconds = 0.25;
+  Histogram snr_hist(0.0, 45.0, 5);
+  for (const double v : {-3.0, 1.0, 13.7, 44.999, 200.0}) snr_hist.add(v);
+  // A metric whose samples hit NaN/±Inf (zero-noise mappings produce
+  // +inf SNR legitimately): the accumulator state must survive the wire
+  // bit-for-bit, sign bits and all.
+  cell.distribution.samples = 5;
+  cell.distribution.metrics = {
+      {"snr_db", snr_hist,
+       RunningStats::from_parts(5, nan, inf, -inf, inf)},
+      {"loss_db", Histogram(-4.5, 0.0, 3),
+       RunningStats::from_parts(0, 0.0, 0.0, 0.0, 0.0)}};
+
+  std::ostringstream out;
+  write_cell_result(out, cell);
+  std::istringstream in(out.str());
+  const auto parsed = read_cell_result(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, CellStatus::Ok);
+  EXPECT_EQ(parsed->cell.index, 3u);
+  EXPECT_EQ(parsed->seed, 8u);
+  EXPECT_EQ(parsed->seconds, 0.25);
+  ASSERT_EQ(parsed->distribution.metrics.size(), 2u);
+  const auto& stats = parsed->distribution.metrics[0].stats;
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_TRUE(std::isnan(stats.mean()));
+  EXPECT_EQ(stats.sum_squared_deviations(), inf);
+  EXPECT_EQ(stats.min(), -inf);
+  EXPECT_EQ(stats.max(), inf);
+  expect_identical_distribution(parsed->distribution, cell.distribution);
+
+  // A torn distribution block (producer died mid-write) is an explicit
+  // ParseError, same as the Optimize payload.
+  const auto text = out.str();
+  std::istringstream torn(text.substr(0, text.size() * 2 / 3));
+  EXPECT_THROW((void)read_cell_result(torn), ParseError);
+
+  // The end-to-end wire path: a sampled cell run by the real sample
+  // body round-trips bit-exactly.
+  const auto spec = sampling_spec();
+  const auto results = BatchEngine({.workers = 1}).run(spec);
+  std::ostringstream real_out;
+  write_cell_result(real_out, results[0]);
+  std::istringstream real_in(real_out.str());
+  const auto real = read_cell_result(real_in);
+  ASSERT_TRUE(real.has_value());
+  expect_identical_distribution(real->distribution, results[0].distribution);
+}
+
 // --- the network problem cache ---------------------------------------------
 
 TEST(BatchEngine, NetworkCacheIsWorkloadIndependent) {

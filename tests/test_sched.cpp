@@ -411,6 +411,114 @@ TEST(Scheduler, LoopbackFleetMatchesInProcessBitForBitOn64Cells) {
   EXPECT_NEAR(merged.cpu_seconds, cpu_sum, 1e-9);
 }
 
+TEST(Scheduler, LoopbackFleetRunsSampleKindBitIdenticalToInProcess) {
+  // The Sample task kind through the full remote path: framed sampling
+  // shards out, constant-size DistributionResult blocks back, merged
+  // sub-cells bit-identical to the in-process backend whatever the
+  // fleet size. 2 apps x 4 sub-cells (seeds).
+  SweepSpec spec;
+  spec.add_workload("p5", pipeline_cg(5))
+      .add_workload("p6", pipeline_cg(6))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_seed_range(5, 4)
+      .use_sampling({.samples_per_cell = 40});
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+
+  for (const std::size_t hosts : {1u, 2u}) {
+    SchedulerOptions options;
+    options.hosts.assign(hosts, "loopback");
+    options.cells_per_shard = 2;
+    const auto outcome = Scheduler(options).run(spec);
+    ASSERT_EQ(outcome.results.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const auto& got = outcome.results[i];
+      const auto& want = reference[i];
+      ASSERT_EQ(got.status, CellStatus::Ok) << got.error;
+      EXPECT_EQ(got.seed, want.seed);
+      EXPECT_EQ(got.distribution.samples, want.distribution.samples);
+      ASSERT_EQ(got.distribution.metrics.size(),
+                want.distribution.metrics.size());
+      for (std::size_t m = 0; m < want.distribution.metrics.size(); ++m) {
+        const auto& g = got.distribution.metrics[m];
+        const auto& w = want.distribution.metrics[m];
+        EXPECT_EQ(g.metric, w.metric);
+        ASSERT_EQ(g.histogram.bins(), w.histogram.bins());
+        EXPECT_EQ(g.histogram.underflow(), w.histogram.underflow());
+        EXPECT_EQ(g.histogram.overflow(), w.histogram.overflow());
+        for (std::size_t b = 0; b < g.histogram.bins(); ++b)
+          EXPECT_EQ(g.histogram.count(b), w.histogram.count(b));
+        EXPECT_EQ(g.stats.count(), w.stats.count());
+        EXPECT_EQ(g.stats.mean(), w.stats.mean());  // bitwise
+        EXPECT_EQ(g.stats.sum_squared_deviations(),
+                  w.stats.sum_squared_deviations());
+        EXPECT_EQ(g.stats.min(), w.stats.min());
+        EXPECT_EQ(g.stats.max(), w.stats.max());
+      }
+    }
+    // Merged per app (seeds are the innermost dimension: contiguous),
+    // compared with the library's bit-identity comparator.
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+      const auto merged_got = merge_cell_distributions(
+          outcome.results, w * spec.seeds.size(), spec.seeds.size());
+      const auto merged_want = merge_cell_distributions(
+          reference, w * spec.seeds.size(), spec.seeds.size());
+      EXPECT_EQ(merged_got.samples,
+                spec.sampling.samples_per_cell * spec.seeds.size());
+      EXPECT_TRUE(identical_distributions(merged_got, merged_want));
+    }
+  }
+}
+
+// --- the capacity handshake -------------------------------------------------
+
+TEST(Scheduler, LoopbackWorkersAdvertiseHardwareCapacity) {
+  // serve_connection's hello reply carries `capacity N` (hardware
+  // threads by default); the scheduler parses it into HostReport.
+  const auto spec = spec8();
+  SchedulerOptions options;
+  options.hosts = {"loopback", "loopback"};
+  const auto outcome = Scheduler(options).run(spec);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::size_t expected = hardware > 0 ? hardware : 1;
+  for (const auto& host : outcome.hosts) {
+    ASSERT_TRUE(host.connected);
+    EXPECT_EQ(host.capacity, expected);
+  }
+}
+
+TEST(Scheduler, BareHelloPeersCountAsCapacityOne) {
+  // FakeConnection answers with the bare pre-capacity hello: the
+  // missing field must parse as capacity 1, not kill the host — the
+  // old/new interop rule.
+  const auto spec = spec8();
+  SchedulerOptions options;
+  options.hosts = {"legacy"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{});
+  const auto outcome = Scheduler(options).run(spec);
+  ASSERT_TRUE(outcome.hosts[0].connected);
+  EXPECT_FALSE(outcome.hosts[0].died);
+  EXPECT_EQ(outcome.hosts[0].capacity, 1u);
+  for (const auto& result : outcome.results)
+    EXPECT_EQ(result.status, CellStatus::Ok);
+}
+
+TEST(Service, HelloWithUnknownFieldsStillHandshakes) {
+  // A future scheduler may append fields to its hello; today's worker
+  // must prefix-match instead of exact-match. Drive serve_connection
+  // directly over a socketpair.
+  auto transport = make_transport();
+  auto conn = transport->connect("loopback");
+  ASSERT_TRUE(conn->send(std::string(kSchedHello) + " future-field 7"));
+  const auto reply = conn->recv(10.0);
+  ASSERT_EQ(reply.status, Connection::RecvStatus::Ok);
+  EXPECT_TRUE(reply.payload.rfind(kSchedHello, 0) == 0);
+  EXPECT_NE(reply.payload.find("capacity"), std::string::npos);
+  ASSERT_TRUE(conn->send(kSchedQuit));
+  conn->close();
+}
+
 TEST(BatchEngine, RemoteBackendRunsOnLoopbackWorkers) {
   const auto spec = spec8();
   const auto reference = BatchEngine({.workers = 1}).run(spec);

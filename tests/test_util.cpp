@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <set>
@@ -285,6 +286,99 @@ TEST(Histogram, BinEdges) {
 TEST(Histogram, RejectsDegenerateConfig) {
   EXPECT_THROW(Histogram(0.0, 0.0, 4), InvalidArgument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinnings) {
+  Histogram base(0.0, 10.0, 10);
+  EXPECT_THROW(base.merge(Histogram(0.0, 10.0, 20)), InvalidArgument);
+  EXPECT_THROW(base.merge(Histogram(0.0, 9.0, 10)), InvalidArgument);
+  EXPECT_THROW(base.merge(Histogram(-1.0, 10.0, 10)), InvalidArgument);
+  // A failed merge must leave the target untouched.
+  EXPECT_EQ(base.total(), 0u);
+}
+
+TEST(Histogram, MergeOfSplitsEqualsSinglePassBitExactly) {
+  // The same value stream, accumulated in one pass and in three
+  // interleaved shards, must agree bin for bin — including the
+  // underflow/overflow counters the shards hit at different rates.
+  Histogram whole(-2.0, 2.0, 16);
+  Histogram shards[3]{{-2.0, 2.0, 16}, {-2.0, 2.0, 16}, {-2.0, 2.0, 16}};
+  std::uint64_t state = 99;
+  for (int i = 0; i < 3000; ++i) {
+    // Cheap deterministic values spanning [-3, 3): both tails overflow.
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double value =
+        static_cast<double>(state >> 11) /
+            static_cast<double>(1ull << 53) * 6.0 - 3.0;
+    whole.add(value);
+    shards[i % 3].add(value);
+  }
+  Histogram merged = shards[0];
+  merged.merge(shards[1]);
+  merged.merge(shards[2]);
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_EQ(merged.underflow(), whole.underflow());
+  EXPECT_EQ(merged.overflow(), whole.overflow());
+  EXPECT_GT(whole.underflow(), 0u);  // the tails were really exercised
+  EXPECT_GT(whole.overflow(), 0u);
+  for (std::size_t b = 0; b < whole.bins(); ++b)
+    EXPECT_EQ(merged.count(b), whole.count(b)) << "bin " << b;
+}
+
+TEST(Histogram, FromPartsRoundTripsAccumulatedState) {
+  Histogram h(0.0, 4.0, 4);
+  for (const double v : {-1.0, 0.5, 1.5, 1.6, 3.9, 7.0, 9.0}) h.add(v);
+  std::vector<std::size_t> counts;
+  for (std::size_t b = 0; b < h.bins(); ++b) counts.push_back(h.count(b));
+  const auto restored = Histogram::from_parts(h.lo(), h.hi(), counts,
+                                              h.underflow(), h.overflow());
+  EXPECT_EQ(restored.total(), h.total());
+  EXPECT_EQ(restored.underflow(), h.underflow());
+  EXPECT_EQ(restored.overflow(), h.overflow());
+  for (std::size_t b = 0; b < h.bins(); ++b)
+    EXPECT_EQ(restored.count(b), h.count(b));
+  EXPECT_THROW((void)Histogram::from_parts(0.0, 1.0, {}, 0, 0),
+               InvalidArgument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinTheCrossingBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one count per bin
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);   // crosses at the bin-5 boundary
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);  // halfway into bin 2
+  EXPECT_DOUBLE_EQ(h.quantile(0.05), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  // Mass outside the range resolves to the range edges (the histogram
+  // cannot know those sample values).
+  Histogram tails(0.0, 1.0, 2);
+  tails.add(-5.0);
+  tails.add(0.25);
+  tails.add(9.0);
+  EXPECT_DOUBLE_EQ(tails.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tails.quantile(1.0), 1.0);
+  // Empty histogram: a defined 0, not UB.
+  EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 4).quantile(0.5), 0.0);
+}
+
+TEST(RunningStats, FromPartsRoundTripsTheAccumulator) {
+  RunningStats original;
+  for (const double v : {3.25, -1.5, 0.75, 12.0, -0.125}) original.add(v);
+  const auto restored = RunningStats::from_parts(
+      original.count(), original.mean(), original.sum_squared_deviations(),
+      original.min(), original.max());
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.mean(), original.mean());  // bitwise
+  EXPECT_EQ(restored.variance(), original.variance());
+  EXPECT_EQ(restored.min(), original.min());
+  EXPECT_EQ(restored.max(), original.max());
+  // Merging a restored shard behaves exactly like merging the original.
+  RunningStats base_a, base_b;
+  base_a.add(7.0);
+  base_b.add(7.0);
+  base_a.merge(original);
+  base_b.merge(restored);
+  EXPECT_EQ(base_a.mean(), base_b.mean());
+  EXPECT_EQ(base_a.sum_squared_deviations(), base_b.sum_squared_deviations());
 }
 
 TEST(Histogram, AsciiChartHasOneRowPerBin) {
