@@ -15,7 +15,10 @@
 /// overhead, bit-identity across the process boundary),
 /// --remote=N adds a distributed-scheduler pass over N loopback workers
 /// (framing + scheduling overhead, bit-identity through src/sched/),
-/// --csv=FILE dump the aggregated report.
+/// --csv=FILE dump the aggregated report,
+/// --json=FILE dump the headline numbers as a snapshot for the in-repo
+/// perf trajectory (bench/BENCH_parallel_sweep.json; regenerate with
+/// bench/update_snapshots.sh).
 
 #include <fstream>
 #include <iostream>
@@ -157,6 +160,32 @@ int main(int argc, char** argv) {
     }
     report.write_csv(out);
     std::cout << "# aggregated report written to " << *csv_path << '\n';
+  }
+
+  if (const auto json_path = cli.get("json")) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << *json_path << " for writing\n";
+      return 1;
+    }
+    const double cells_per_second =
+        parallel_seconds > 0.0 ? sequential_results.size() / parallel_seconds
+                               : 0.0;
+    out << "{\n"
+        << "  \"benchmark\": \"parallel_sweep\",\n"
+        << "  \"cells\": " << sequential_results.size() << ",\n"
+        << "  \"evaluations_per_cell\": " << evals << ",\n"
+        << "  \"workers\": " << parallel.worker_count() << ",\n"
+        << "  \"sequential_seconds\": " << format_fixed(sequential_seconds, 4)
+        << ",\n"
+        << "  \"parallel_seconds\": " << format_fixed(parallel_seconds, 4)
+        << ",\n"
+        << "  \"speedup\": " << format_fixed(speedup, 3) << ",\n"
+        << "  \"parallel_cells_per_second\": "
+        << format_fixed(cells_per_second, 2) << ",\n"
+        << "  \"mismatched_cells\": " << mismatches << "\n"
+        << "}\n";
+    std::cout << "# snapshot written to " << *json_path << '\n';
   }
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Regenerate the in-repo perf-trajectory snapshots (ROADMAP: commit
+# BENCH_*.json so perf changes are visible in review):
+#
+#   bench/BENCH_eval_micro.json     google-benchmark JSON of the hot-path
+#                                   microbenchmarks (evaluator, delta
+#                                   evaluation, router/network models)
+#   bench/BENCH_parallel_sweep.json headline numbers of the batch
+#                                   speedup + bit-identity bench
+#
+# Usage: bench/update_snapshots.sh [build-dir]   (default: ./build)
+#
+# Numbers are machine-dependent; snapshots track the trajectory on the
+# reference machine, they are not asserted by CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+if [ ! -x "$build/bench_eval_micro" ] || [ ! -x "$build/bench_parallel_sweep" ]; then
+  echo "error: bench binaries not found under '$build'" >&2
+  echo "build them first: cmake -B $build -S . && cmake --build $build -j" >&2
+  exit 1
+fi
+
+"$build/bench_eval_micro" \
+  --benchmark_out=bench/BENCH_eval_micro.json \
+  --benchmark_out_format=json
+
+# A budget small enough to finish in seconds but large enough that the
+# pool actually spreads load (the full 128-cell Table II-style grid at
+# 800 evaluations per cell).
+PHONOC_SWEEP_EVALS=800 "$build/bench_parallel_sweep" \
+  --json=bench/BENCH_parallel_sweep.json >/dev/null
+
+echo "snapshots updated:"
+ls -l bench/BENCH_eval_micro.json bench/BENCH_parallel_sweep.json

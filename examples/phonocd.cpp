@@ -1,0 +1,116 @@
+/// \file phonocd.cpp
+/// \brief The long-lived mapping service daemon (src/service/).
+///
+/// Listens on a TCP port and serves concurrent clients: framed
+/// handshake, then mapping/sweep requests in, streamed CellResult
+/// frames out (see src/service/README.md for the protocol, the
+/// admission-control policy and the metrics catalog). All connections
+/// share one RequestBroker — one admission queue, one backend, one
+/// cross-request problem cache and evaluator memo bank.
+///
+///     phonocd --port=7501 &
+///     phonoc_client --port=7501 --benchmarks=pip --optimizers=rs
+///
+/// Flags:
+///   --port=N              listening port (0 picks an ephemeral port;
+///                         the chosen port is printed either way)
+///   --once / --max-conns=N  exit after serving 1 / N connections
+///   --workers=N           cell workers (0 = hardware threads)
+///   --backend=thread|fork|remote   execution backend
+///   --worker=PATH         fork backend: phonoc_worker binary
+///   --hosts=EP1,EP2,...   remote backend: phonoc_workerd endpoints
+///   --max-queue=N         admission queue depth (default 8)
+///   --max-outstanding-cells=N  outstanding-cell cap (default 4096,
+///                         0 = uncapped)
+///   --max-cells=N         per-request grid cap (default 0 = uncapped)
+///   --evaluator-cache=N   per-cell evaluator memo capacity
+///   --memo-bank=N         cross-request memo bank entries per problem
+///   --max-problems=N      problems kept in the cross-request cache
+///   --idle-timeout=SECS   drop clients idle this long (0 = never)
+///   --stats-csv=FILE      write the final metrics snapshot as CSV on
+///                         graceful exit (requires --once/--max-conns)
+///
+/// Exit codes: 0 = served the requested connections, 1 = setup error.
+
+#include <fstream>
+#include <iostream>
+
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phonoc;
+  const CliOptions cli(argc, argv);
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7501));
+  const auto max_conns = cli.has("once")
+                             ? std::int64_t{1}
+                             : cli.get_int("max-conns", 0);  // 0 = forever
+
+  BrokerOptions broker;
+  broker.batch.workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+  const auto backend_name = cli.get_or("backend", "thread");
+  if (backend_name == "fork") {
+    broker.batch.backend = BatchBackend::ForkExec;
+    broker.batch.worker_path = cli.get_or("worker", "");
+  } else if (backend_name == "remote") {
+    broker.batch.backend = BatchBackend::Remote;
+    for (const auto& endpoint : split(cli.get_or("hosts", ""), ','))
+      if (!trim(endpoint).empty())
+        broker.batch.remote_hosts.emplace_back(trim(endpoint));
+    if (broker.batch.remote_hosts.empty()) {
+      std::cerr << "error: --backend=remote needs --hosts\n";
+      return 1;
+    }
+  } else if (backend_name != "thread") {
+    std::cerr << "error: --backend must be 'thread', 'fork' or 'remote'\n";
+    return 1;
+  }
+  broker.max_queue_depth =
+      static_cast<std::size_t>(cli.get_int("max-queue", 8));
+  broker.max_outstanding_cells =
+      static_cast<std::size_t>(cli.get_int("max-outstanding-cells", 4096));
+  broker.max_cells_per_request =
+      static_cast<std::uint64_t>(cli.get_int("max-cells", 0));
+  broker.batch.evaluator.cache_capacity = static_cast<std::size_t>(
+      cli.get_int("evaluator-cache",
+                  static_cast<std::int64_t>(
+                      EvaluatorOptions{}.cache_capacity)));
+  broker.cache.memo_capacity = static_cast<std::size_t>(
+      cli.get_int("memo-bank",
+                  static_cast<std::int64_t>(
+                      ServiceCache::Options{}.memo_capacity)));
+  broker.cache.max_problems =
+      static_cast<std::size_t>(cli.get_int("max-problems", 64));
+
+  ServiceServerOptions server_options;
+  server_options.idle_timeout_seconds = cli.get_double("idle-timeout", 0.0);
+
+  try {
+    ServiceServer server(port, broker, server_options);
+    std::cout << "phonocd: listening on 127.0.0.1:" << server.port()
+              << " (backend=" << backend_name
+              << ", queue=" << broker.max_queue_depth << ")" << std::endl;
+    server.run(static_cast<std::size_t>(max_conns));
+    const auto snapshot = server.broker().metrics();
+    std::cout << "phonocd: served " << snapshot.connections
+              << " connection(s), " << snapshot.requests_accepted
+              << " request(s) accepted, "
+              << snapshot.shed_overloaded + snapshot.shed_budget +
+                     snapshot.shed_deadline + snapshot.shed_shutdown
+              << " shed" << std::endl;
+    if (const auto csv = cli.get("stats-csv")) {
+      std::ofstream out(*csv);
+      out << snapshot.to_csv();
+      if (!out) {
+        std::cerr << "phonocd: cannot write " << *csv << "\n";
+        return 1;
+      }
+      std::cout << "phonocd: metrics written to " << *csv << std::endl;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "phonocd: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -40,6 +40,21 @@ class Engine {
                               const OptimizerBudget& budget,
                               std::uint64_t seed) const;
 
+  /// Run against a caller-owned Evaluator (which must wrap this
+  /// engine's problem). The outcome is identical to run() — memo state
+  /// can shift cost between cache hits and physical evaluations but
+  /// never a fitness value or a logical count — while the evaluator,
+  /// with its memo and counters, survives the call. This is how the
+  /// mapping service (src/service/) carries one memo across requests.
+  [[nodiscard]] RunResult run_with(Evaluator& evaluator,
+                                   const std::string& optimizer_name,
+                                   const OptimizerBudget& budget,
+                                   std::uint64_t seed) const;
+  [[nodiscard]] RunResult run_with(Evaluator& evaluator,
+                                   const MappingOptimizer& optimizer,
+                                   const OptimizerBudget& budget,
+                                   std::uint64_t seed) const;
+
   /// Run several optimizers with identical budgets and seed (the
   /// paper's fair-comparison protocol). `workers > 1` runs them
   /// concurrently on a thread pool; each run owns its Evaluator and RNG,

@@ -33,12 +33,10 @@ const double* Evaluator::cache_lookup(const Mapping& mapping,
   return nullptr;
 }
 
-void Evaluator::cache_insert(const Mapping& mapping, std::uint64_t hash,
-                             double fitness) {
-  const auto assignment = mapping.assignment();
-  cache_order_.emplace_front(CacheNode{
-      hash, std::vector<TileId>(assignment.begin(), assignment.end()),
-      fitness});
+void Evaluator::cache_insert(std::vector<TileId> assignment,
+                             std::uint64_t hash, double fitness,
+                             bool count_evictions) {
+  cache_order_.emplace_front(CacheNode{hash, std::move(assignment), fitness});
   cache_index_[hash].push_back(cache_order_.begin());
   if (cache_order_.size() <= options_.cache_capacity) return;
   const auto victim = std::prev(cache_order_.end());
@@ -46,6 +44,42 @@ void Evaluator::cache_insert(const Mapping& mapping, std::uint64_t hash,
   bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
   if (bucket.empty()) cache_index_.erase(victim->hash);
   cache_order_.pop_back();
+  if (count_evictions) ++cache_evictions_;
+}
+
+bool Evaluator::cache_contains(std::span<const TileId> assignment,
+                               std::uint64_t hash) const {
+  const auto it = cache_index_.find(hash);
+  if (it == cache_index_.end()) return false;
+  for (const auto& node : it->second)
+    if (std::equal(node->key.begin(), node->key.end(), assignment.begin(),
+                   assignment.end()))
+      return true;
+  return false;
+}
+
+EvaluatorMemo Evaluator::export_memo() const {
+  EvaluatorMemo memo;
+  memo.entries.reserve(cache_order_.size());
+  for (const auto& node : cache_order_)
+    memo.entries.push_back(EvaluatorMemo::Entry{node.key, node.fitness});
+  return memo;
+}
+
+void Evaluator::preload_memo(const EvaluatorMemo& memo) {
+  if (options_.cache_capacity == 0) return;
+  // Only the snapshot's most recent `capacity` entries can survive;
+  // insert that subset oldest-first so the memo's recency order matches
+  // the snapshot's and nothing needs evicting.
+  const std::size_t take =
+      std::min(memo.entries.size(), options_.cache_capacity);
+  for (std::size_t i = take; i-- > 0;) {
+    const auto& entry = memo.entries[i];
+    const std::uint64_t hash = assignment_hash(entry.assignment);
+    if (cache_contains(entry.assignment, hash)) continue;
+    cache_insert(entry.assignment, hash, entry.fitness,
+                 /*count_evictions=*/false);
+  }
 }
 
 double Evaluator::evaluate(const Mapping& mapping) {
@@ -54,11 +88,16 @@ double Evaluator::evaluate(const Mapping& mapping) {
   const std::uint64_t hash = memoize ? mapping.hash() : 0;
   if (memoize) {
     if (const double* cached = cache_lookup(mapping, hash)) return *cached;
+    ++cache_misses_;
   }
   const auto result = run_evaluation(mapping, needs_detail_);
   ++physical_count_;
   const double fitness = problem_.objective().fitness(result);
-  if (memoize) cache_insert(mapping, hash, fitness);
+  if (memoize) {
+    const auto assignment = mapping.assignment();
+    cache_insert(std::vector<TileId>(assignment.begin(), assignment.end()),
+                 hash, fitness, /*count_evictions=*/true);
+  }
   return fitness;
 }
 

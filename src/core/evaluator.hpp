@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,21 @@
 #include "model/incremental.hpp"
 
 namespace phonoc {
+
+/// Portable snapshot of the whole-mapping fitness memo, most-recent
+/// first. The service layer (src/service/) exports a cell's memo after
+/// its run and preloads the next cell of the same problem with it, so
+/// repeated requests hit across Evaluator instances. Snapshot entries
+/// are exact (full assignment + fitness), so seeding a fresh Evaluator
+/// from one can never change a fitness value or a logical evaluation
+/// count — only how many physical evaluations the run costs.
+struct EvaluatorMemo {
+  struct Entry {
+    std::vector<TileId> assignment;
+    double fitness = 0.0;
+  };
+  std::vector<Entry> entries;
+};
 
 struct EvaluatorOptions {
   /// Capacity (entries) of the whole-mapping fitness memo; 0 disables
@@ -82,6 +98,32 @@ class Evaluator final : public FitnessFunction {
   [[nodiscard]] std::uint64_t cache_hit_count() const noexcept {
     return cache_hits_;
   }
+  /// `evaluate` calls the enabled memo failed to answer. The counting
+  /// contract (asserted by tests/test_incremental.cpp): with the memo
+  /// enabled, every `evaluate` call is exactly one hit or one miss
+  /// (hits + misses == evaluate calls) and every miss is exactly one
+  /// physical evaluation (misses == physical_evaluation_count()). With
+  /// the memo disabled neither counter moves.
+  [[nodiscard]] std::uint64_t cache_miss_count() const noexcept {
+    return cache_misses_;
+  }
+  /// Entries dropped from the memo's LRU tail to make room (preloading
+  /// never evicts and is not counted).
+  [[nodiscard]] std::uint64_t cache_eviction_count() const noexcept {
+    return cache_evictions_;
+  }
+
+  /// Copy the memo's current contents, most-recent first. Counters are
+  /// untouched; the snapshot is independent of this instance.
+  [[nodiscard]] EvaluatorMemo export_memo() const;
+
+  /// Seed the memo from a snapshot: the snapshot's most recent
+  /// `cache_capacity` entries are adopted with their recency order
+  /// preserved; assignments already cached are skipped. Nothing is
+  /// counted as a hit, miss, or eviction — preloading is cost shifting,
+  /// not evaluation activity.
+  void preload_memo(const EvaluatorMemo& memo);
+
   /// Full O(|E|^2) rebuilds of the incremental kernel (base changes).
   [[nodiscard]] std::uint64_t kernel_rebuild_count() const noexcept {
     return kernel_ ? kernel_->rebuild_count() : 0;
@@ -109,8 +151,10 @@ class Evaluator final : public FitnessFunction {
   void sync_kernel_pre_swap(const Mapping& after, TileId a, TileId b);
   [[nodiscard]] const double* cache_lookup(const Mapping& mapping,
                                            std::uint64_t hash);
-  void cache_insert(const Mapping& mapping, std::uint64_t hash,
-                    double fitness);
+  void cache_insert(std::vector<TileId> assignment, std::uint64_t hash,
+                    double fitness, bool count_evictions);
+  [[nodiscard]] bool cache_contains(std::span<const TileId> assignment,
+                                    std::uint64_t hash) const;
 
   const MappingProblem& problem_;
   EvaluatorOptions options_;
@@ -118,6 +162,8 @@ class Evaluator final : public FitnessFunction {
   std::uint64_t count_ = 0;
   std::uint64_t physical_count_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
 
   // --- whole-mapping LRU memo ------------------------------------------------
   /// Each assignment key is stored exactly once (in its list node); the

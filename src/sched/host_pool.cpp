@@ -11,26 +11,62 @@ namespace {
 constexpr auto kAcquirePollInterval = std::chrono::milliseconds(20);
 }  // namespace
 
-HostPool::HostPool(std::size_t hosts, std::size_t cells,
+HostPool::HostPool(std::vector<std::size_t> capacities, std::size_t cells,
                    std::size_t cells_per_unit, std::size_t max_attempts,
                    double speculate_after_seconds, bool allow_steal)
-    : queues_(hosts),
-      in_flight_(hosts),
+    : queues_(capacities.size()),
+      in_flight_(capacities.size()),
       settled_(cells, 0),
       max_attempts_(std::max<std::size_t>(max_attempts, 1)),
       speculate_after_seconds_(speculate_after_seconds),
       allow_steal_(allow_steal),
       epoch_(std::chrono::steady_clock::now()) {
+  const std::size_t hosts = capacities.size();
   require(hosts > 0, "HostPool: need at least one host");
   const std::size_t unit = std::max<std::size_t>(cells_per_unit, 1);
-  // Deal contiguous units round-robin so every host starts with work
-  // and neighbouring ranges (which share problems worker-side) tend to
-  // land on the same host.
-  std::size_t index = 0;
-  for (std::size_t begin = 0; begin < cells; begin += unit, ++index)
-    queues_[index % hosts].push_back(
-        WorkUnit{begin, std::min(begin + unit, cells), 0});
+  const std::size_t units = (cells + unit - 1) / unit;
+  // An all-zero fleet (say, no host survived its handshake) degrades
+  // to an equal split: the units land somewhere well-formed and the
+  // scheduler's unsettled-cell sweep fails them loudly.
+  std::size_t total = 0;
+  for (const auto capacity : capacities) total += capacity;
+  if (total == 0) {
+    capacities.assign(hosts, 1);
+    total = hosts;
+  }
+  // Largest-remainder apportionment of whole units: floor every
+  // host's proportional share, then hand the leftover units to the
+  // largest fractional remainders (ties toward the lower host index —
+  // stable_sort keeps the iota order). A capacity-0 host always has
+  // remainder 0 and can never win a leftover unit.
+  std::vector<std::size_t> share(hosts);
+  std::size_t dealt = 0;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    share[h] = units * capacities[h] / total;
+    dealt += share[h];
+  }
+  std::vector<std::size_t> order(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) order[h] = h;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return units * capacities[a] % total >
+                            units * capacities[b] % total;
+                   });
+  for (std::size_t i = 0; i < units - dealt; ++i) ++share[order[i]];
+  // Host h owns one contiguous block: neighbouring ranges share
+  // problems worker-side, so locality survives the weighting.
+  std::size_t begin = 0;
+  for (std::size_t h = 0; h < hosts; ++h)
+    for (std::size_t u = 0; u < share[h]; ++u, begin += unit)
+      queues_[h].push_back(
+          WorkUnit{begin, std::min(begin + unit, cells), 0});
 }
+
+HostPool::HostPool(std::size_t hosts, std::size_t cells,
+                   std::size_t cells_per_unit, std::size_t max_attempts,
+                   double speculate_after_seconds, bool allow_steal)
+    : HostPool(std::vector<std::size_t>(hosts, 1), cells, cells_per_unit,
+               max_attempts, speculate_after_seconds, allow_steal) {}
 
 double HostPool::now_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -

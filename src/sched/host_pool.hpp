@@ -2,9 +2,12 @@
 /// \file host_pool.hpp
 /// \brief Thread-safe work ledger of the distributed sweep scheduler.
 ///
-/// The grid is cut into contiguous WorkUnits and dealt round-robin into
-/// per-host queues. Each host-driver thread pulls its next unit with
-/// acquire(), which implements the fleet policies in one place:
+/// The grid is cut into contiguous WorkUnits and dealt as one
+/// contiguous block per host, sized proportionally to the host's
+/// advertised capacity (largest-remainder apportionment of whole
+/// units; equal capacities degenerate to an even split). Each
+/// host-driver thread pulls its next unit with acquire(), which
+/// implements the fleet policies in one place:
 ///
 ///  - own queue first (locality: contiguous ranges share problems),
 ///  - then the retry queue (units bounced off a dead or timed-out host),
@@ -48,11 +51,23 @@ struct HostPoolStats {
 
 class HostPool {
  public:
-  /// `max_attempts` >= 1 is the total number of dispatches a unit may
-  /// consume (1 = no retries). A negative `speculate_after_seconds`
-  /// disables straggler speculation (0 makes every in-flight unit
-  /// immediately cloneable — deterministic tests use that);
-  /// `allow_steal` gates queue stealing.
+  /// Capacity-weighted deal: host `h` initially owns a contiguous
+  /// block of whole units sized by `capacities[h]` relative to the
+  /// fleet total (largest remainder, ties broken toward the lower host
+  /// index). A capacity-0 host starts with nothing and only reaches
+  /// work through retry, stealing or speculation; an all-zero fleet
+  /// falls back to an equal split so the ledger stays well-formed even
+  /// when nobody will drive it. `max_attempts` >= 1 is the total
+  /// number of dispatches a unit may consume (1 = no retries). A
+  /// negative `speculate_after_seconds` disables straggler speculation
+  /// (0 makes every in-flight unit immediately cloneable —
+  /// deterministic tests use that); `allow_steal` gates queue stealing.
+  HostPool(std::vector<std::size_t> capacities, std::size_t cells,
+           std::size_t cells_per_unit, std::size_t max_attempts,
+           double speculate_after_seconds, bool allow_steal = true);
+
+  /// Equal-weight convenience: every host gets the same share (the
+  /// pre-capacity behaviour, still what unweighted callers want).
   HostPool(std::size_t hosts, std::size_t cells, std::size_t cells_per_unit,
            std::size_t max_attempts, double speculate_after_seconds,
            bool allow_steal = true);

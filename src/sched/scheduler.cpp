@@ -162,40 +162,39 @@ UnitOutcome receive_unit(DriverContext& ctx, std::size_t host,
   }
 }
 
-void drive_host(DriverContext ctx, std::size_t host, Transport& transport,
-                HostReport& report) {
-  Timer wall;
+/// Phase 1 of a sweep: dial one host and run the version handshake,
+/// filling `report.connected` / `report.capacity`. Returns the live
+/// connection, or null with the failure recorded in the report. Runs
+/// before the HostPool exists — a host that fails here simply gets
+/// capacity 0 in the deal, so there is nothing to retire.
+std::unique_ptr<Connection> connect_and_handshake(
+    const SchedulerOptions& options, Transport& transport,
+    HostReport& report) {
   std::unique_ptr<Connection> conn;
   try {
     conn = transport.connect(report.endpoint);
   } catch (const std::exception& e) {
     report.error = e.what();
-    ctx.pool.retire_host(host);
-    report.wall_seconds = wall.elapsed_seconds();
     log_warning() << "sched: host '" << report.endpoint
                   << "' unreachable: " << report.error;
-    return;
+    return nullptr;
   }
 
   const auto die = [&](const std::string& reason) {
     report.died = true;
     report.error = reason;
-    abandon(ctx, host, reason);
-    ctx.pool.retire_host(host);
     conn->close();
     log_warning() << "sched: host '" << report.endpoint
                   << "' lost: " << reason;
   };
 
-  // Version handshake before any work changes hands.
   if (!conn->send(kSchedHello)) {
     die("connection closed before the handshake");
-    report.wall_seconds = wall.elapsed_seconds();
-    return;
+    return nullptr;
   }
   Connection::RecvResult hello;
   try {
-    hello = conn->recv(ctx.options.handshake_timeout_seconds);
+    hello = conn->recv(options.handshake_timeout_seconds);
   } catch (const std::exception& e) {
     hello = {Connection::RecvStatus::Closed, {}};
     report.error = e.what();
@@ -205,22 +204,37 @@ void drive_host(DriverContext ctx, std::size_t host, Transport& transport,
     die(hello.status == Connection::RecvStatus::Ok
             ? "handshake mismatch: got '" + hello.payload + "'"
             : "no handshake within " +
-                  format_fixed(ctx.options.handshake_timeout_seconds, 1) +
-                  " s");
-    report.wall_seconds = wall.elapsed_seconds();
-    return;
+                  format_fixed(options.handshake_timeout_seconds, 1) + " s");
+    return nullptr;
   }
   report.connected = true;
+  return conn;
+}
+
+/// Phase 2: pull units off the pool and stream them down an
+/// already-handshaken connection until the sweep settles or the host
+/// dies.
+void drive_host(DriverContext ctx, std::size_t host, Connection& conn,
+                HostReport& report) {
+  const auto die = [&](const std::string& reason) {
+    report.died = true;
+    report.error = reason;
+    abandon(ctx, host, reason);
+    ctx.pool.retire_host(host);
+    conn.close();
+    log_warning() << "sched: host '" << report.endpoint
+                  << "' lost: " << reason;
+  };
 
   while (auto unit = ctx.pool.acquire(host)) {
-    if (!conn->send(
+    if (!conn.send(
             complete_shard(ctx.shard_prefix, unit->begin, unit->end))) {
       die("connection closed while sending a shard");
       break;
     }
     std::string death;
     const auto outcome = receive_unit(ctx, host, unit->end - unit->begin,
-                                      *conn, report, death);
+                                      conn, report, death);
     if (outcome == UnitOutcome::HostDead) {
       die(death);
       break;
@@ -230,10 +244,9 @@ void drive_host(DriverContext ctx, std::size_t host, Transport& transport,
     ++report.shards;
   }
   if (!report.died) {
-    (void)conn->send(kSchedQuit);  // let a daemon go back to accepting
-    conn->close();
+    (void)conn.send(kSchedQuit);  // let a daemon go back to accepting
+    conn.close();
   }
-  report.wall_seconds = wall.elapsed_seconds();
 }
 
 }  // namespace
@@ -259,23 +272,62 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   // The spec (with its embedded workloads) dwarfs the two slice lines;
   // serialize it once instead of once per dispatched unit.
   const std::string prefix = shard_prefix(spec, options_.evaluator);
-  HostPool pool(options_.hosts.size(), cells.size(), options_.cells_per_shard,
+
+  // Phase 1: dial and handshake the whole fleet in parallel, so every
+  // host's advertised capacity is known before any work is dealt.
+  const std::size_t host_count = options_.hosts.size();
+  std::vector<std::unique_ptr<Connection>> conns(host_count);
+  std::vector<Timer> clocks(host_count);
+  {
+    std::vector<std::thread> dialers;
+    dialers.reserve(host_count);
+    for (std::size_t h = 0; h < host_count; ++h)
+      dialers.emplace_back([&, h] {
+        clocks[h].restart();
+        try {
+          conns[h] = connect_and_handshake(options_, *transport,
+                                           outcome.hosts[h]);
+        } catch (const std::exception& e) {
+          outcome.hosts[h].died = true;
+          outcome.hosts[h].error =
+              std::string("handshake failed: ") + e.what();
+        }
+        if (!conns[h])
+          outcome.hosts[h].wall_seconds = clocks[h].elapsed_seconds();
+      });
+    for (auto& dialer : dialers) dialer.join();
+  }
+
+  // Phase 2: deal contiguous unit blocks weighted by capacity (a host
+  // that never handshook weighs nothing) and drive the survivors.
+  std::vector<std::size_t> capacities(host_count, 0);
+  std::size_t connected = 0;
+  std::size_t total_capacity = 0;
+  for (std::size_t h = 0; h < host_count; ++h)
+    if (outcome.hosts[h].connected) {
+      capacities[h] = std::max<std::size_t>(outcome.hosts[h].capacity, 1);
+      total_capacity += capacities[h];
+      ++connected;
+    }
+  HostPool pool(capacities, cells.size(), options_.cells_per_shard,
                 options_.max_attempts, options_.speculate_after_seconds,
                 options_.allow_steal);
-  log_info() << "sched: " << cells.size() << " cells over "
-             << options_.hosts.size() << " host(s), "
-             << options_.cells_per_shard << " cell(s)/shard, "
-             << options_.max_attempts << " attempt(s)";
+  log_info() << "sched: " << cells.size() << " cells over " << connected
+             << " of " << host_count << " host(s) (total capacity "
+             << total_capacity << "), " << options_.cells_per_shard
+             << " cell(s)/shard, " << options_.max_attempts
+             << " attempt(s)";
 
   std::vector<std::thread> drivers;
-  drivers.reserve(options_.hosts.size());
-  for (std::size_t h = 0; h < options_.hosts.size(); ++h)
+  drivers.reserve(host_count);
+  for (std::size_t h = 0; h < host_count; ++h) {
+    if (!conns[h]) continue;
     drivers.emplace_back([&, h] {
       DriverContext ctx{spec,   options_,        cells,
                         prefix, pool,            outcome.results,
                         outcome.cell_host};
       try {
-        drive_host(ctx, h, *transport, outcome.hosts[h]);
+        drive_host(ctx, h, *conns[h], outcome.hosts[h]);
       } catch (const std::exception& e) {
         // A driver must never take the process down or wedge the pool:
         // give its work back and record the host as lost.
@@ -284,7 +336,11 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
         abandon(ctx, h, outcome.hosts[h].error);
         pool.retire_host(h);
       }
+      // Dial-to-drain on this host's clock (includes the fleet
+      // handshake barrier the host actually waited out).
+      outcome.hosts[h].wall_seconds = clocks[h].elapsed_seconds();
     });
+  }
   for (auto& driver : drivers) driver.join();
 
   // Cells no surviving host could take (e.g. the whole fleet died with

@@ -69,9 +69,10 @@ struct HostReport {
   std::string error;         ///< diagnostic when !connected or died
   /// Worker-advertised capacity (hardware threads) from the hello
   /// reply's optional `capacity N` field; peers predating the field
-  /// send a bare hello and count as 1. Recorded as groundwork for
-  /// capacity-weighted unit dealing (see ROADMAP "parallel worker
-  /// daemons") — the deal is still round-robin today.
+  /// send a bare hello and count as 1. The scheduler handshakes the
+  /// whole fleet before dealing any work, then sizes each host's
+  /// initial contiguous unit block proportionally to this value
+  /// (hosts that fail the handshake weigh nothing).
   std::size_t capacity = 1;
   std::size_t shards = 0;    ///< work units served to completion
   std::size_t cells_ok = 0;  ///< accepted Ok results

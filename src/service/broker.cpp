@@ -1,0 +1,355 @@
+#include "service/broker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace phonoc {
+
+RequestBroker::RequestBroker(BrokerOptions options)
+    : options_(std::move(options)), cache_(options_.cache) {
+  paused_ = options_.start_paused;
+  if (options_.batch.backend == BatchBackend::InProcess) {
+    std::size_t workers = options_.batch.workers != 0
+                              ? options_.batch.workers
+                              : ThreadPool::default_worker_count();
+    workers = std::min(workers, ThreadPool::kMaxWorkers);
+    if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  exec_thread_ = std::thread([this] { run_loop(); });
+}
+
+RequestBroker::~RequestBroker() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (exec_thread_.joinable()) exec_thread_.join();
+}
+
+Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
+  Submission outcome;
+  outcome.cells = cell_count(request.spec);
+  if (outcome.cells == 0) {
+    metrics_.on_malformed();
+    outcome.kind = RejectKind::Malformed;
+    outcome.reason = "the sweep grid is empty (a dimension has no values)";
+    return outcome;
+  }
+  if (request.max_cells != 0 && outcome.cells > request.max_cells) {
+    metrics_.on_shed_budget();
+    outcome.kind = RejectKind::Budget;
+    outcome.reason = "grid has " + std::to_string(outcome.cells) +
+                     " cells, the request allows max_cells=" +
+                     std::to_string(request.max_cells);
+    return outcome;
+  }
+  if (options_.max_cells_per_request != 0 &&
+      outcome.cells > options_.max_cells_per_request) {
+    metrics_.on_shed_budget();
+    outcome.kind = RejectKind::Budget;
+    outcome.reason = "grid has " + std::to_string(outcome.cells) +
+                     " cells, the server caps requests at " +
+                     std::to_string(options_.max_cells_per_request);
+    return outcome;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      metrics_.on_shed_shutdown();
+      outcome.kind = RejectKind::Shutdown;
+      outcome.reason = "service is shutting down";
+      return outcome;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      metrics_.on_shed_overloaded();
+      outcome.kind = RejectKind::Overloaded;
+      outcome.reason = "admission queue is full (" +
+                       std::to_string(queue_.size()) + " request(s) waiting)";
+      return outcome;
+    }
+    const std::size_t outstanding = queued_cells_ + running_cells_left_;
+    if (options_.max_outstanding_cells != 0 &&
+        outstanding + outcome.cells > options_.max_outstanding_cells) {
+      metrics_.on_shed_overloaded();
+      outcome.kind = RejectKind::Overloaded;
+      outcome.reason =
+          std::to_string(outstanding) + " cell(s) outstanding; " +
+          std::to_string(outcome.cells) + " more would exceed the cap of " +
+          std::to_string(options_.max_outstanding_cells);
+      return outcome;
+    }
+    Job job;
+    job.request = std::move(request);
+    job.events = std::move(events);
+    job.cells = outcome.cells;
+    queued_cells_ += job.cells;
+    metrics_.on_accepted();
+    // Announce under the lock: the `accepted` frame must be on the wire
+    // before the execution thread can dequeue the job and stream cells.
+    if (job.events.on_accepted) job.events.on_accepted(job.cells);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_all();
+  outcome.accepted = true;
+  return outcome;
+}
+
+EvaluationAnswer RequestBroker::evaluate(const EvaluateRequest& request) {
+  require(!request.spec.workloads.empty() &&
+              !request.spec.topologies.empty() && !request.spec.goals.empty(),
+          "evaluate: the spec needs at least one workload, topology and "
+          "goal");
+  const SweepCell cell{};
+  const auto key = ServiceCache::key_of(request.spec, cell);
+  const auto problem = cache_.problem(request.spec, cell, key);
+  require(request.assignment.size() == problem->task_count(),
+          "evaluate: the assignment maps " +
+              std::to_string(request.assignment.size()) +
+              " task(s), the workload has " +
+              std::to_string(problem->task_count()));
+  const auto mapping =
+      Mapping::from_assignment(request.assignment, problem->tile_count());
+  Evaluator evaluator(*problem, options_.batch.evaluator);
+  cache_.seed_memo(key, evaluator);
+  EvaluationAnswer answer;
+  answer.fitness = evaluator.evaluate(mapping);
+  const auto raw = evaluator.evaluate_raw(mapping);
+  answer.snr_db = raw.worst_snr_db;
+  answer.loss_db = raw.worst_loss_db;
+  cache_.harvest_memo(key, evaluator);
+  metrics_.on_evaluator_counters(evaluator.cache_hit_count(),
+                                 evaluator.cache_miss_count(),
+                                 evaluator.cache_eviction_count());
+  metrics_.on_evaluation();
+  return answer;
+}
+
+MetricsSnapshot RequestBroker::metrics() const {
+  std::size_t depth = 0;
+  std::size_t in_flight = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    depth = queue_.size();
+    in_flight = running_cells_left_;
+  }
+  MetricsSnapshot snap = metrics_.snapshot(depth, in_flight);
+  const auto cache = cache_.counters();
+  snap.problem_cache_hits = cache.problem_hits;
+  snap.problem_cache_misses = cache.problem_misses;
+  snap.problem_cache_evictions = cache.problem_evictions;
+  return snap;
+}
+
+void RequestBroker::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void RequestBroker::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void RequestBroker::run_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      if (stop_) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queued_cells_ -= job.cells;
+      running_cells_left_ = job.cells;
+    }
+    execute(job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      running_cells_left_ = 0;
+    }
+  }
+  // Shutdown drain: nothing queued may be silently dropped.
+  std::deque<Job> leftovers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    leftovers.swap(queue_);
+    queued_cells_ = 0;
+  }
+  for (auto& job : leftovers) {
+    metrics_.on_shed_shutdown();
+    if (job.events.on_reject)
+      job.events.on_reject(RejectKind::Shutdown, "service is shutting down");
+  }
+}
+
+void RequestBroker::execute(Job& job) {
+  const double deadline = job.request.deadline_seconds;
+  const double waited = job.queued.elapsed_seconds();
+  if (deadline > 0.0 && waited > deadline) {
+    // Shed stale work instead of running it: the client stopped caring
+    // `waited - deadline` seconds ago.
+    metrics_.on_shed_deadline();
+    if (job.events.on_reject)
+      job.events.on_reject(RejectKind::Deadline,
+                           "deadline of " + format_double(deadline) +
+                               "s passed after " + format_double(waited) +
+                               "s in the queue");
+    return;
+  }
+  if (job.events.alive && !job.events.alive()) {
+    metrics_.on_request_canceled(0, 0);
+    if (job.events.on_done) job.events.on_done(0, 0);
+    return;
+  }
+  const Timer wall;
+  bool canceled = false;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  try {
+    if (options_.batch.backend == BatchBackend::InProcess)
+      execute_in_process(job, canceled, ok, failed);
+    else
+      execute_batch(job, canceled, ok, failed);
+  } catch (const std::exception& e) {
+    // Request-level failure (problem construction, a dead backend):
+    // answer it; the daemon and the other requests keep going.
+    log_warning() << "service broker: request '" << job.request.id
+                  << "' failed: " << e.what();
+    metrics_.on_request_failed();
+    if (job.events.on_reject)
+      job.events.on_reject(RejectKind::Internal, e.what());
+    return;
+  }
+  if (canceled)
+    metrics_.on_request_canceled(ok, failed);
+  else
+    metrics_.on_completed(ok, failed, wall.elapsed_seconds());
+  // on_done fires either way — for a vanished client the send simply
+  // fails — so the connection's job accounting always balances.
+  if (job.events.on_done) job.events.on_done(ok, failed);
+}
+
+void RequestBroker::execute_in_process(Job& job, bool& canceled,
+                                       std::size_t& ok, std::size_t& failed) {
+  const auto& spec = job.request.spec;
+  const auto cells = expand(spec);
+  // Problems come from the cross-request cache, built serially here
+  // (construction is the expensive part; cells only read them).
+  std::map<SweepProblemKey,
+           std::pair<std::string, std::shared_ptr<const MappingProblem>>>
+      problems;
+  for (const auto& cell : cells) {
+    const SweepProblemKey coord{cell.workload, cell.topology, cell.goal};
+    if (problems.count(coord)) continue;
+    auto key = ServiceCache::key_of(spec, cell);
+    auto problem = cache_.problem(spec, cell, key);
+    problems.emplace(coord, std::make_pair(std::move(key),
+                                           std::move(problem)));
+  }
+  std::atomic<bool> cancel{false};
+  std::mutex stream_mutex;  // serializes on_cell and the ok/failed tally
+  const auto run_one = [&](const SweepCell& cell) {
+    if (!cancel.load(std::memory_order_relaxed)) {
+      const auto& [key, problem] = problems.at(
+          SweepProblemKey{cell.workload, cell.topology, cell.goal});
+      CellResult result = run_cell(spec, cell, *problem, key);
+      const std::lock_guard<std::mutex> lock(stream_mutex);
+      if (!cancel.load(std::memory_order_relaxed)) {
+        if (result.status == CellStatus::Ok)
+          ++ok;
+        else
+          ++failed;
+        if (job.events.on_cell && !job.events.on_cell(result))
+          cancel.store(true);
+      }
+    }
+    finish_cell();
+  };
+  if (!pool_ || cells.size() <= 1) {
+    for (const auto& cell : cells) run_one(cell);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(cells.size());
+    for (const auto& cell : cells)
+      futures.push_back(pool_->submit([&run_one, cell] { run_one(cell); }));
+    for (auto& future : futures) future.get();
+  }
+  canceled = cancel.load();
+}
+
+void RequestBroker::execute_batch(Job& job, bool& canceled, std::size_t& ok,
+                                  std::size_t& failed) {
+  // ForkExec/Remote delegate the whole request to BatchEngine: cells
+  // run in other processes (no cross-request cache there) and stream
+  // back in grid order once the batch returns.
+  const BatchEngine engine(options_.batch);
+  const auto results = engine.run(job.request.spec);
+  for (const auto& result : results) {
+    if (!canceled) {
+      if (result.status == CellStatus::Ok)
+        ++ok;
+      else
+        ++failed;
+      if (job.events.on_cell && !job.events.on_cell(result)) canceled = true;
+    }
+    finish_cell();
+  }
+}
+
+CellResult RequestBroker::run_cell(const SweepSpec& spec,
+                                   const SweepCell& cell,
+                                   const MappingProblem& problem,
+                                   const std::string& key) {
+  if (spec.task_kind == SweepTaskKind::Sample) {
+    // Sampling scores through evaluate_raw, which bypasses the memo:
+    // nothing to seed or harvest, and the counters stay untouched.
+    try {
+      return run_sweep_cell(spec, cell, problem, options_.batch.evaluator);
+    } catch (const std::exception& e) {
+      return make_failed_cell(spec, cell, e.what());
+    }
+  }
+  try {
+    const Timer timer;
+    CellResult result;
+    result.cell = cell;
+    result.seed = spec.seeds[cell.seed];
+    // The exact per-cell code of run_sweep_cell, with the Evaluator
+    // lifted out so the memo can be seeded from (and harvested into)
+    // the cross-request bank. Memo state shifts physical cost only —
+    // the RunResult is bit-identical either way.
+    Evaluator evaluator(problem, options_.batch.evaluator);
+    cache_.seed_memo(key, evaluator);
+    result.run = Engine(problem, options_.batch.evaluator)
+                     .run_with(evaluator, spec.optimizers[cell.optimizer],
+                               spec.budgets[cell.budget], result.seed);
+    cache_.harvest_memo(key, evaluator);
+    metrics_.on_evaluator_counters(evaluator.cache_hit_count(),
+                                   evaluator.cache_miss_count(),
+                                   evaluator.cache_eviction_count());
+    result.seconds = timer.elapsed_seconds();
+    return result;
+  } catch (const std::exception& e) {
+    return make_failed_cell(spec, cell, e.what());
+  }
+}
+
+void RequestBroker::finish_cell() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_cells_left_ > 0) --running_cells_left_;
+}
+
+}  // namespace phonoc

@@ -1,0 +1,174 @@
+#pragma once
+/// \file broker.hpp
+/// \brief The RequestBroker: admission control and request execution.
+///
+/// One broker multiplexes every client connection of a phonocd daemon
+/// onto one shared BatchEngine configuration (any backend). Admission
+/// is bounded and sheds explicitly: a request that would exceed the
+/// queue depth or the outstanding-cell budget is rejected *immediately*
+/// with a structured RejectKind::Overloaded answer — the service never
+/// queues unboundedly and never silently drops work. Accepted requests
+/// run one at a time in submission order on a dedicated execution
+/// thread; within a request, cells fan out over the broker's persistent
+/// thread pool (InProcess) or the configured ForkExec/Remote backend.
+///
+/// Event contract, per submit() call:
+///  * rejected at admission — submit() returns the rejection; no events
+///    fire (the caller already holds the answer to send);
+///  * accepted — `on_accepted` fires synchronously inside submit()
+///    (before the job can start, so the `accepted` frame is on the wire
+///    ahead of any `cell` frame), then exactly one terminal event fires
+///    later from the execution thread: `on_done` (the request ran —
+///    even if the client vanished mid-stream) or `on_reject` (shed from
+///    the queue on deadline/shutdown, or a request-level execution
+///    failure).
+///
+/// Bit-identity: the InProcess path runs the exact per-cell code of
+/// BatchEngine (same Engine/Evaluator construction, same seeds); the
+/// cross-request problem cache and memo bank only shift physical cost
+/// (see service/cache.hpp), so streamed results are bit-identical to an
+/// in-process BatchEngine::run of the same spec.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/batch_engine.hpp"
+#include "exec/thread_pool.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace phonoc {
+
+struct BrokerOptions {
+  /// Backend, worker count and evaluator knobs of the shared engine.
+  BatchOptions batch{};
+  /// Requests allowed to wait behind the running one; a submit that
+  /// finds the queue at this depth is shed (RejectKind::Overloaded).
+  std::size_t max_queue_depth = 8;
+  /// Estimated outstanding cost cap: queued cells plus the unfinished
+  /// cells of the running request. A request whose grid would push the
+  /// total beyond this is shed (RejectKind::Overloaded). 0 = no cap.
+  std::size_t max_outstanding_cells = 4096;
+  /// Server-side per-request grid cap (RejectKind::Budget beyond it);
+  /// 0 = no cap. The client's own ServiceRequest::max_cells is enforced
+  /// independently.
+  std::uint64_t max_cells_per_request = 0;
+  /// Cross-request reuse (see ServiceCache::Options).
+  ServiceCache::Options cache{};
+  /// Construct paused (test hook): jobs queue but never start until
+  /// resume() — admission decisions become deterministic.
+  bool start_paused = false;
+};
+
+/// Callbacks of one submitted request. `on_cell` streams a finished
+/// cell and returns false when the client is unreachable (the broker
+/// then skips the request's remaining cells). All callbacks are invoked
+/// from broker threads and must not throw.
+struct JobEvents {
+  std::function<void(std::size_t cells)> on_accepted;
+  std::function<bool(const CellResult& result)> on_cell;
+  std::function<void(std::size_t ok, std::size_t failed)> on_done;
+  std::function<void(RejectKind kind, const std::string& reason)> on_reject;
+  /// Optional liveness probe, checked before a queued job starts; a
+  /// false return skips execution entirely (counted as canceled).
+  std::function<bool()> alive;
+};
+
+/// Outcome of an admission decision.
+struct Submission {
+  bool accepted = false;
+  std::size_t cells = 0;                     ///< expanded grid size
+  RejectKind kind = RejectKind::Overloaded;  ///< valid when !accepted
+  std::string reason;
+};
+
+/// What a single-mapping `evaluate` request answers with.
+struct EvaluationAnswer {
+  double fitness = 0.0;
+  double snr_db = 0.0;
+  double loss_db = 0.0;
+};
+
+class RequestBroker {
+ public:
+  explicit RequestBroker(BrokerOptions options);
+  /// Drains the queue (shedding every waiting job with
+  /// RejectKind::Shutdown), finishes the running request, joins.
+  ~RequestBroker();
+
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  /// Admission decision for one request (thread-safe; called from
+  /// connection threads). See the event contract above.
+  [[nodiscard]] Submission submit(ServiceRequest request, JobEvents events);
+
+  /// Score one explicit mapping against the request's first
+  /// (workload, topology, goal) coordinate, synchronously, through the
+  /// shared problem cache and memo bank. Throws phonoc::Error on
+  /// invalid input (empty dimensions, non-injective assignment).
+  [[nodiscard]] EvaluationAnswer evaluate(const EvaluateRequest& request);
+
+  /// Current metrics (counters + live gauges + cache counters).
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// Direct metric feeds for connection-level events the broker cannot
+  /// see itself.
+  ServiceMetrics& raw_metrics() noexcept { return metrics_; }
+
+  /// Test hooks: freeze/unfreeze the execution thread so admission
+  /// behavior can be asserted deterministically.
+  void pause();
+  void resume();
+
+  [[nodiscard]] const BrokerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    JobEvents events;
+    std::size_t cells = 0;
+    Timer queued;  ///< queue-wait clock for the deadline check
+  };
+
+  void run_loop();
+  void execute(Job& job);
+  void execute_in_process(Job& job, bool& canceled, std::size_t& ok,
+                          std::size_t& failed);
+  void execute_batch(Job& job, bool& canceled, std::size_t& ok,
+                     std::size_t& failed);
+  /// The shared per-cell body: BatchEngine's cell code plus memo
+  /// seeding/harvesting and metric accounting.
+  [[nodiscard]] CellResult run_cell(const SweepSpec& spec,
+                                    const SweepCell& cell,
+                                    const MappingProblem& problem,
+                                    const std::string& key);
+  void finish_cell();
+
+  BrokerOptions options_;
+  ServiceCache cache_;
+  ServiceMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;  ///< InProcess cell fan-out
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;
+  std::size_t queued_cells_ = 0;        ///< sum over queue_
+  std::size_t running_cells_left_ = 0;  ///< unfinished cells, running job
+  bool paused_ = false;
+  bool stop_ = false;
+
+  std::thread exec_thread_;
+};
+
+}  // namespace phonoc

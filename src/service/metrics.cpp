@@ -1,0 +1,157 @@
+#include "service/metrics.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace phonoc {
+namespace {
+
+template <typename Emit>
+void each_metric(const MetricsSnapshot& s, Emit&& emit) {
+  emit("queue_depth", std::to_string(s.queue_depth));
+  emit("in_flight_cells", std::to_string(s.in_flight_cells));
+  emit("uptime_seconds", format_double(s.uptime_seconds));
+  emit("connections", std::to_string(s.connections));
+  emit("requests_accepted", std::to_string(s.requests_accepted));
+  emit("requests_completed", std::to_string(s.requests_completed));
+  emit("requests_failed", std::to_string(s.requests_failed));
+  emit("requests_canceled", std::to_string(s.requests_canceled));
+  emit("shed_overloaded", std::to_string(s.shed_overloaded));
+  emit("shed_budget", std::to_string(s.shed_budget));
+  emit("shed_deadline", std::to_string(s.shed_deadline));
+  emit("shed_shutdown", std::to_string(s.shed_shutdown));
+  emit("requests_malformed", std::to_string(s.requests_malformed));
+  emit("stats_requests", std::to_string(s.stats_requests));
+  emit("single_evaluations", std::to_string(s.single_evaluations));
+  emit("cells_ok", std::to_string(s.cells_ok));
+  emit("cells_failed", std::to_string(s.cells_failed));
+  emit("evaluator_cache_hits", std::to_string(s.evaluator_cache_hits));
+  emit("evaluator_cache_misses", std::to_string(s.evaluator_cache_misses));
+  emit("evaluator_cache_evictions",
+       std::to_string(s.evaluator_cache_evictions));
+  emit("problem_cache_hits", std::to_string(s.problem_cache_hits));
+  emit("problem_cache_misses", std::to_string(s.problem_cache_misses));
+  emit("problem_cache_evictions", std::to_string(s.problem_cache_evictions));
+  emit("wall_p50_seconds", format_double(s.wall_p50_seconds));
+  emit("wall_p90_seconds", format_double(s.wall_p90_seconds));
+  emit("wall_p99_seconds", format_double(s.wall_p99_seconds));
+  emit("wall_max_seconds", format_double(s.wall_max_seconds));
+  emit("wall_mean_seconds", format_double(s.wall_mean_seconds));
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  each_metric(*this, [&](const char* name, const std::string& value) {
+    out << name << ' ' << value << '\n';
+  });
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream out;
+  out << "metric,value\n";
+  each_metric(*this, [&](const char* name, const std::string& value) {
+    out << name << ',' << value << '\n';
+  });
+  return out.str();
+}
+
+ServiceMetrics::ServiceMetrics() = default;
+
+void ServiceMetrics::on_connection() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.connections;
+}
+
+void ServiceMetrics::on_stats_request() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.stats_requests;
+}
+
+void ServiceMetrics::on_malformed() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests_malformed;
+}
+
+void ServiceMetrics::on_accepted() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests_accepted;
+}
+
+void ServiceMetrics::on_shed_overloaded() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shed_overloaded;
+}
+
+void ServiceMetrics::on_shed_budget() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shed_budget;
+}
+
+void ServiceMetrics::on_shed_deadline() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shed_deadline;
+}
+
+void ServiceMetrics::on_shed_shutdown() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shed_shutdown;
+}
+
+void ServiceMetrics::on_completed(std::size_t cells_ok,
+                                  std::size_t cells_failed,
+                                  double wall_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests_completed;
+  counters_.cells_ok += cells_ok;
+  counters_.cells_failed += cells_failed;
+  wall_hist_.add(wall_seconds);
+  wall_stats_.add(wall_seconds);
+}
+
+void ServiceMetrics::on_request_failed() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests_failed;
+}
+
+void ServiceMetrics::on_request_canceled(std::size_t cells_ok,
+                                         std::size_t cells_failed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests_canceled;
+  counters_.cells_ok += cells_ok;
+  counters_.cells_failed += cells_failed;
+}
+
+void ServiceMetrics::on_evaluation() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.single_evaluations;
+}
+
+void ServiceMetrics::on_evaluator_counters(std::uint64_t hits,
+                                           std::uint64_t misses,
+                                           std::uint64_t evictions) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.evaluator_cache_hits += hits;
+  counters_.evaluator_cache_misses += misses;
+  counters_.evaluator_cache_evictions += evictions;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot(std::size_t queue_depth,
+                                         std::size_t in_flight_cells) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap = counters_;
+  snap.queue_depth = queue_depth;
+  snap.in_flight_cells = in_flight_cells;
+  snap.uptime_seconds = uptime_.elapsed_seconds();
+  snap.wall_p50_seconds = wall_hist_.quantile(0.5);
+  snap.wall_p90_seconds = wall_hist_.quantile(0.9);
+  snap.wall_p99_seconds = wall_hist_.quantile(0.99);
+  snap.wall_max_seconds = wall_stats_.max();
+  snap.wall_mean_seconds = wall_stats_.mean();
+  return snap;
+}
+
+}  // namespace phonoc

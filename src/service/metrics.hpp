@@ -1,0 +1,105 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief The phonocd metrics surface.
+///
+/// ServiceMetrics is the thread-safe accumulator the broker and server
+/// feed; MetricsSnapshot is the immutable copy handed out to the framed
+/// `stats` request and the `--stats-csv` dump. Wall-time quantiles come
+/// from the existing fixed-bin Histogram (util/stats.hpp), so the
+/// snapshot stays constant-size however many requests the daemon has
+/// served. The full metric catalog is documented in
+/// src/service/README.md.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace phonoc {
+
+/// Point-in-time copy of every service metric. Counters are monotonic
+/// over the daemon's lifetime; gauges (queue_depth, in_flight_cells)
+/// are sampled at snapshot time by the broker.
+struct MetricsSnapshot {
+  // gauges
+  std::size_t queue_depth = 0;
+  std::size_t in_flight_cells = 0;
+  double uptime_seconds = 0.0;
+  // connection / request counters
+  std::uint64_t connections = 0;
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;    ///< accepted but died executing
+  std::uint64_t requests_canceled = 0;  ///< client vanished mid-stream
+  std::uint64_t shed_overloaded = 0;
+  std::uint64_t shed_budget = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t requests_malformed = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t single_evaluations = 0;
+  // cell counters
+  std::uint64_t cells_ok = 0;
+  std::uint64_t cells_failed = 0;
+  // cross-request reuse
+  std::uint64_t evaluator_cache_hits = 0;
+  std::uint64_t evaluator_cache_misses = 0;
+  std::uint64_t evaluator_cache_evictions = 0;
+  std::uint64_t problem_cache_hits = 0;
+  std::uint64_t problem_cache_misses = 0;
+  std::uint64_t problem_cache_evictions = 0;
+  // per-request wall time (completed requests only)
+  double wall_p50_seconds = 0.0;
+  double wall_p90_seconds = 0.0;
+  double wall_p99_seconds = 0.0;
+  double wall_max_seconds = 0.0;
+  double wall_mean_seconds = 0.0;
+
+  /// `<metric> <value>` lines (the framed `stats` reply body).
+  [[nodiscard]] std::string to_text() const;
+  /// `metric,value` CSV with a header row (the --stats-csv dump).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Thread-safe metric accumulator (one per broker). All methods may be
+/// called concurrently from connection threads and cell workers.
+class ServiceMetrics {
+ public:
+  ServiceMetrics();
+
+  void on_connection();
+  void on_stats_request();
+  void on_malformed();
+  void on_accepted();
+  void on_shed_overloaded();
+  void on_shed_budget();
+  void on_shed_deadline();
+  void on_shed_shutdown();
+  void on_completed(std::size_t cells_ok, std::size_t cells_failed,
+                    double wall_seconds);
+  void on_request_failed();
+  void on_request_canceled(std::size_t cells_ok, std::size_t cells_failed);
+  void on_evaluation();
+  /// Fold one finished cell's evaluator counter deltas in.
+  void on_evaluator_counters(std::uint64_t hits, std::uint64_t misses,
+                             std::uint64_t evictions);
+
+  /// Snapshot the counters; the caller supplies the gauges it owns and
+  /// fills the problem-cache counters from ServiceCache::counters().
+  [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth,
+                                         std::size_t in_flight_cells) const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot counters_;  ///< gauges/quantiles unused; filled on demand
+  /// Per-request wall-time distribution: 600 x 100ms bins over [0, 60s);
+  /// slower requests land in the overflow bin and quantiles saturate at
+  /// 60s, which is all a load dashboard needs.
+  Histogram wall_hist_{0.0, 60.0, 600};
+  RunningStats wall_stats_;
+  Timer uptime_;
+};
+
+}  // namespace phonoc

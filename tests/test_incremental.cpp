@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -363,6 +364,102 @@ TEST(EvaluatorMemo, DuplicateHeavySamplingKeepsBudgetSemantics) {
   EXPECT_EQ(evaluator.cache_hit_count(),
             evaluator.evaluation_count() -
                 evaluator.physical_evaluation_count());
+}
+
+TEST(EvaluatorMemo, HitsPlusMissesEqualsCallsAndEvictionsAreCounted) {
+  // The counting contract the service metrics rely on: with the memo
+  // enabled, every evaluate() is either a hit or a miss, and misses
+  // are exactly the physical evaluations.
+  const auto problem = make_test_problem("mesh", "worst_snr", 31);
+  Evaluator evaluator(problem, {.cache_capacity = 2, .incremental = true});
+  Rng rng(11);
+  std::vector<Mapping> mappings;
+  for (int i = 0; i < 4; ++i)
+    mappings.push_back(Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng));
+  for (const auto& mapping : mappings) (void)evaluator.evaluate(mapping);
+  EXPECT_EQ(evaluator.cache_miss_count(), 4u);
+  EXPECT_EQ(evaluator.cache_hit_count(), 0u);
+  // Capacity 2, four distinct entries: the two oldest were evicted.
+  EXPECT_EQ(evaluator.cache_eviction_count(), 2u);
+  // The most recent mapping is still cached; the oldest is not.
+  (void)evaluator.evaluate(mappings[3]);
+  EXPECT_EQ(evaluator.cache_hit_count(), 1u);
+  (void)evaluator.evaluate(mappings[0]);
+  EXPECT_EQ(evaluator.cache_miss_count(), 5u);
+  EXPECT_EQ(evaluator.cache_hit_count() + evaluator.cache_miss_count(),
+            evaluator.evaluation_count());
+  EXPECT_EQ(evaluator.cache_miss_count(),
+            evaluator.physical_evaluation_count());
+}
+
+TEST(EvaluatorMemo, DisabledCacheCountsNothing) {
+  const auto problem = make_test_problem("mesh", "worst_snr", 31);
+  Evaluator evaluator(problem, {.cache_capacity = 0, .incremental = true});
+  Rng rng(12);
+  const auto mapping = Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng);
+  (void)evaluator.evaluate(mapping);
+  (void)evaluator.evaluate(mapping);
+  EXPECT_EQ(evaluator.cache_hit_count(), 0u);
+  EXPECT_EQ(evaluator.cache_miss_count(), 0u);
+  EXPECT_EQ(evaluator.cache_eviction_count(), 0u);
+}
+
+TEST(EvaluatorMemo, ExportPreloadShiftsCostWithoutCountingActivity) {
+  // The cross-request bank protocol: export from one evaluator, preload
+  // into a fresh one, and the repeat request pays zero physical
+  // evaluations — while the preload itself counts as no activity.
+  const auto problem = make_test_problem("mesh", "worst_snr", 31);
+  Evaluator donor(problem, {.cache_capacity = 64, .incremental = true});
+  Rng rng(13);
+  std::vector<Mapping> mappings;
+  for (int i = 0; i < 3; ++i)
+    mappings.push_back(Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng));
+  std::vector<double> fitness;
+  for (const auto& mapping : mappings)
+    fitness.push_back(donor.evaluate(mapping));
+
+  const auto snapshot = donor.export_memo();
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+  // Most-recent first: the head is the last mapping evaluated.
+  EXPECT_TRUE(std::equal(snapshot.entries[0].assignment.begin(),
+                         snapshot.entries[0].assignment.end(),
+                         mappings[2].assignment().begin(),
+                         mappings[2].assignment().end()));
+
+  Evaluator fresh(problem, {.cache_capacity = 64, .incremental = true});
+  fresh.preload_memo(snapshot);
+  EXPECT_EQ(fresh.cache_hit_count(), 0u);
+  EXPECT_EQ(fresh.cache_miss_count(), 0u);
+  EXPECT_EQ(fresh.cache_eviction_count(), 0u);
+  EXPECT_EQ(fresh.physical_evaluation_count(), 0u);
+  for (std::size_t i = 0; i < mappings.size(); ++i)
+    EXPECT_EQ(fresh.evaluate(mappings[i]), fitness[i]);  // bitwise
+  EXPECT_EQ(fresh.cache_hit_count(), 3u);
+  EXPECT_EQ(fresh.physical_evaluation_count(), 0u);
+}
+
+TEST(EvaluatorMemo, PreloadRespectsCapacityAndKeepsTheFreshest) {
+  const auto problem = make_test_problem("mesh", "worst_snr", 31);
+  Evaluator donor(problem, {.cache_capacity = 64, .incremental = true});
+  Rng rng(14);
+  std::vector<Mapping> mappings;
+  for (int i = 0; i < 4; ++i)
+    mappings.push_back(Mapping::random(problem.task_count(),
+                                       problem.tile_count(), rng));
+  for (const auto& mapping : mappings) (void)donor.evaluate(mapping);
+
+  Evaluator tiny(problem, {.cache_capacity = 2, .incremental = true});
+  tiny.preload_memo(donor.export_memo());
+  EXPECT_EQ(tiny.cache_eviction_count(), 0u);  // preload never evicts
+  // Only the snapshot's two most recent entries fit.
+  (void)tiny.evaluate(mappings[3]);
+  (void)tiny.evaluate(mappings[2]);
+  EXPECT_EQ(tiny.cache_hit_count(), 2u);
+  (void)tiny.evaluate(mappings[0]);
+  EXPECT_EQ(tiny.cache_miss_count(), 1u);
 }
 
 TEST(EvaluatorRaw, HonorsObjectiveDetailNeeds) {

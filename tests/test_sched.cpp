@@ -88,15 +88,66 @@ TEST(Framing, CorruptionAndTruncationAreExplicitErrors) {
 
 // --- the HostPool work ledger ----------------------------------------------
 
-TEST(HostPool, DealsContiguousUnitsRoundRobinAndOwnQueueFirst) {
+TEST(HostPool, DealsContiguousBlocksAndOwnQueueFirst) {
+  // Equal weights, 4 units of 2 over 2 hosts: host 0 owns the first
+  // block {0,2},{2,4}, host 1 the second {4,6},{6,8}.
   HostPool pool(2, 8, 2, 1, -1.0);
   const auto u0 = pool.acquire(0);
   const auto u1 = pool.acquire(1);
   ASSERT_TRUE(u0 && u1);
   EXPECT_EQ(u0->begin, 0u);
   EXPECT_EQ(u0->end, 2u);
+  EXPECT_EQ(u1->begin, 4u);
+  EXPECT_EQ(u1->end, 6u);
+}
+
+TEST(HostPool, CapacityWeightedDealIsProportional) {
+  // The satellite acceptance fleet: capacities 1 vs 8, 18 cells in 9
+  // units of 2. Largest remainder gives the small host exactly one
+  // unit and the big host the remaining eight, both contiguous.
+  HostPool pool(std::vector<std::size_t>{1, 8}, 18, 2, 1, -1.0,
+                /*allow_steal=*/false);
+  const auto small = pool.acquire(0);
+  ASSERT_TRUE(small);
+  EXPECT_EQ(small->begin, 0u);
+  EXPECT_EQ(small->end, 2u);
+  for (std::size_t u = 0; u < 8; ++u) {
+    const auto unit = pool.acquire(1);
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(unit->begin, 2 + 2 * u);
+    EXPECT_EQ(unit->end, 4 + 2 * u);
+    for (std::size_t i = unit->begin; i < unit->end; ++i)
+      EXPECT_TRUE(pool.complete_cell(i));
+    pool.finish_unit(1);
+  }
+  for (std::size_t i = small->begin; i < small->end; ++i)
+    EXPECT_TRUE(pool.complete_cell(i));
+  pool.finish_unit(0);
+  EXPECT_TRUE(pool.all_settled());
+  EXPECT_FALSE(pool.acquire(1).has_value());
+}
+
+TEST(HostPool, ZeroCapacityHostStartsEmptyButCanStillSteal) {
+  // A host that never handshook weighs nothing in the deal; with
+  // stealing on it can still help out once it (somehow) has a driver.
+  HostPool pool(std::vector<std::size_t>{0, 1}, 4, 2, 1, -1.0);
+  const auto own = pool.acquire(1);
+  ASSERT_TRUE(own);
+  EXPECT_EQ(own->begin, 0u);  // host 1 owns the whole grid
+  const auto stolen = pool.acquire(0);
+  ASSERT_TRUE(stolen);
+  EXPECT_EQ(stolen->begin, 2u);  // host 0 only reaches work by stealing
+}
+
+TEST(HostPool, AllZeroCapacitiesFallBackToAnEqualSplit) {
+  // A fleet where nobody handshook still deals a well-formed ledger —
+  // the scheduler fails the cells as unroutable, nothing asserts.
+  HostPool pool(std::vector<std::size_t>{0, 0}, 4, 2, 1, -1.0);
+  const auto u0 = pool.acquire(0);
+  const auto u1 = pool.acquire(1);
+  ASSERT_TRUE(u0 && u1);
+  EXPECT_EQ(u0->begin, 0u);
   EXPECT_EQ(u1->begin, 2u);
-  EXPECT_EQ(u1->end, 4u);
 }
 
 TEST(HostPool, CompleteCellIsFirstWins) {
@@ -113,7 +164,8 @@ TEST(HostPool, CompleteCellIsFirstWins) {
 
 TEST(HostPool, FailUnitRequeuesThenAbandonsAfterMaxAttempts) {
   HostPool pool(2, 4, 4, 2, -1.0, /*allow_steal=*/false);
-  // Round-robin with one unit: host 0 owns it, host 1 starts idle.
+  // One unit only: the leftover goes to host 0 (lower index wins the
+  // remainder tie), host 1 starts idle.
   auto unit = pool.acquire(0);
   ASSERT_TRUE(unit);
   EXPECT_EQ(unit->attempt, 0u);
@@ -137,20 +189,20 @@ TEST(HostPool, FailUnitRequeuesThenAbandonsAfterMaxAttempts) {
 }
 
 TEST(HostPool, IdleHostStealsFromTheRichestQueue) {
-  // 3 units, 2 hosts: host 0 owns units {0,2} and {4,6}, host 1 owns
-  // {2,4}. After finishing its own unit host 1 steals host 0's *back*
-  // unit.
+  // 3 units, 2 hosts, equal weights: the remainder tie goes to host 0,
+  // so host 0 owns {0,2},{2,4} and host 1 owns {4,6}. After finishing
+  // its own unit host 1 steals host 0's *back* unit.
   HostPool pool(2, 6, 2, 1, -1.0);
   const auto own = pool.acquire(1);
   ASSERT_TRUE(own);
-  EXPECT_EQ(own->begin, 2u);
+  EXPECT_EQ(own->begin, 4u);
   for (std::size_t i = own->begin; i < own->end; ++i)
     EXPECT_TRUE(pool.complete_cell(i));
   pool.finish_unit(1);
   const auto stolen = pool.acquire(1);
   ASSERT_TRUE(stolen);
-  EXPECT_EQ(stolen->begin, 4u);
-  EXPECT_EQ(stolen->end, 6u);
+  EXPECT_EQ(stolen->begin, 2u);
+  EXPECT_EQ(stolen->end, 4u);
 }
 
 TEST(HostPool, RetiredHostsWorkMovesToTheRetryQueue) {
@@ -267,6 +319,9 @@ struct FakeBehavior {
   double answer_delay_seconds = 0.0;
   /// Accept shards, never answer anything (a wedged host).
   bool black_hole = false;
+  /// Advertise `capacity N` in the hello reply; 0 sends the bare
+  /// legacy hello (which the scheduler must read as capacity 1).
+  std::size_t advertise_capacity = 0;
 };
 
 /// In-memory worker connection: send() executes the shard through the
@@ -280,7 +335,11 @@ class FakeConnection final : public Connection {
   bool send(const std::string& payload) override {
     if (closed_ || dead_) return false;
     if (payload == kSchedHello) {
-      outbox_.push_back({0.0, kSchedHello});
+      outbox_.push_back(
+          {0.0, behavior_.advertise_capacity > 0
+                    ? std::string(kSchedHello) + " capacity " +
+                          std::to_string(behavior_.advertise_capacity)
+                    : std::string(kSchedHello)});
       return true;
     }
     if (payload == kSchedQuit) return true;
@@ -504,6 +563,43 @@ TEST(Scheduler, BareHelloPeersCountAsCapacityOne) {
     EXPECT_EQ(result.status, CellStatus::Ok);
 }
 
+TEST(Scheduler, CapacityWeightedFleetDealsProportionallyAndStaysIdentical) {
+  // A 1-vs-8 fake fleet over 16 cells in 8 units of 2. With stealing
+  // and speculation off, each host serves exactly its dealt block:
+  // largest remainder hands the small host 1 unit (2 cells) and the
+  // big host 7 units (14 cells) — and the merged results are still
+  // bit-identical to the in-process run.
+  auto spec = spec8();
+  spec.seeds.clear();
+  spec.add_seed_range(1, 8);
+  ASSERT_EQ(cell_count(spec), 16u);
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+
+  SchedulerOptions options;
+  options.hosts = {"small", "big"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{
+          {"small", {.advertise_capacity = 1}},
+          {"big", {.advertise_capacity = 8}}});
+  options.cells_per_shard = 2;
+  options.allow_steal = false;
+  options.speculate_after_seconds = -1.0;
+  const auto outcome = Scheduler(options).run(spec);
+
+  expect_all_identical(spec, outcome.results, reference);
+  EXPECT_EQ(outcome.hosts[0].capacity, 1u);
+  EXPECT_EQ(outcome.hosts[1].capacity, 8u);
+  std::size_t small_cells = 0;
+  std::size_t big_cells = 0;
+  for (const auto owner : outcome.cell_host)
+    (owner == 0 ? small_cells : big_cells) += 1;
+  EXPECT_EQ(small_cells, 2u);
+  EXPECT_EQ(big_cells, 14u);
+  // The small host's block is the grid prefix (contiguous dealing).
+  EXPECT_EQ(outcome.cell_host[0], 0);
+  EXPECT_EQ(outcome.cell_host[1], 0);
+}
+
 TEST(Service, HelloWithUnknownFieldsStillHandshakes) {
   // A future scheduler may append fields to its hello; today's worker
   // must prefix-match instead of exact-match. Drive serve_connection
@@ -577,11 +673,11 @@ TEST(Scheduler, UnreachableHostIsRetiredAndTheFleetCarriesOn) {
 }
 
 TEST(Scheduler, StragglerIsRetriedAndItsLateAnswersAreDeduplicated) {
-  // 16 cells in 4 units dealt round-robin: the straggler owns units 0
-  // and 2, so when its delayed unit-0 answers finally arrive the sweep
-  // is still open (unit 2 is queued behind them) and the late frames
-  // must flow through the dedup path rather than the settled-sweep
-  // early exit.
+  // 16 cells in 4 units, equal weights: the straggler owns the first
+  // two units, so when its delayed unit-0 answers finally arrive the
+  // sweep is still open (its second unit is queued behind them) and
+  // the late frames must flow through the dedup path rather than the
+  // settled-sweep early exit.
   auto spec = spec8();
   spec.seeds.clear();
   spec.add_seed_range(1, 8);

@@ -1,0 +1,767 @@
+// Tests of the phonocd mapping service (src/service/): protocol
+// round-trips and structured rejections, FrameDecoder behavior on
+// adversarial byte streams (truncated prefixes, corrupt checksums,
+// hostile declared lengths, interleaved partial feeds), RequestBroker
+// admission control made deterministic through the pause()/resume()
+// hook, cross-request evaluator-memo reuse, and serve_client() end to
+// end over real socketpairs: concurrent Optimize + Sample clients
+// bit-identical to an in-process BatchEngine run, and a vanished client
+// canceling its job instead of hanging the connection handler.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "exec/batch_engine.hpp"
+#include "exec/serialize.hpp"
+#include "exec/sweep.hpp"
+#include "sched/transport.hpp"
+#include "service/broker.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "workloads/generator.hpp"
+
+namespace phonoc {
+namespace {
+
+constexpr auto kWaitLimit = std::chrono::seconds(60);
+
+/// 1 workload x 1 topology x 1 goal x 2 optimizers x 1 budget x 2
+/// seeds = 4 Optimize cells, evaluation-count budget (the determinism
+/// contract).
+SweepSpec opt_spec() {
+  SweepSpec spec;
+  spec.add_workload("p5", pipeline_cg(5))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_optimizers({"rs", "rpbla"})
+      .add_budget(30)
+      .add_seed_range(1, 2);
+  return spec;
+}
+
+/// 2 Sample cells over the same problem as opt_spec (seeds differ).
+SweepSpec sample_spec() {
+  SweepSpec spec;
+  spec.add_workload("p5", pipeline_cg(5))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_seed_range(3, 2)
+      .use_sampling({.samples_per_cell = 50});
+  return spec;
+}
+
+/// Bit-exact comparison of the determinism-contract fields (timing
+/// fields excluded, exactly like the sched and exec suites).
+void expect_identical_cell(const CellResult& got, const CellResult& want,
+                           SweepTaskKind kind) {
+  ASSERT_EQ(got.status, CellStatus::Ok) << got.error;
+  ASSERT_EQ(want.status, CellStatus::Ok) << want.error;
+  EXPECT_EQ(got.cell.index, want.cell.index);
+  EXPECT_EQ(got.seed, want.seed);
+  if (kind == SweepTaskKind::Sample) {
+    EXPECT_TRUE(identical_distributions(got.distribution, want.distribution));
+    return;
+  }
+  EXPECT_EQ(got.run.algorithm, want.run.algorithm);
+  EXPECT_TRUE(got.run.search.best == want.run.search.best);
+  EXPECT_EQ(got.run.search.best_fitness, want.run.search.best_fitness);
+  EXPECT_EQ(got.run.search.evaluations, want.run.search.evaluations);
+  EXPECT_EQ(got.run.search.iterations, want.run.search.iterations);
+  EXPECT_EQ(got.run.best_evaluation.worst_loss_db,
+            want.run.best_evaluation.worst_loss_db);
+  EXPECT_EQ(got.run.best_evaluation.worst_snr_db,
+            want.run.best_evaluation.worst_snr_db);
+}
+
+// --- protocol round-trips ---------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripsThroughWriteAndParse) {
+  ServiceRequest request;
+  request.id = "job-42";
+  request.deadline_seconds = 2.5;
+  request.max_cells = 16;
+  request.spec = opt_spec();
+  const auto parsed = parse_request(write_request(request));
+  EXPECT_EQ(parsed.id, "job-42");
+  EXPECT_EQ(parsed.deadline_seconds, 2.5);
+  EXPECT_EQ(parsed.max_cells, 16u);
+  EXPECT_EQ(cell_count(parsed.spec), cell_count(request.spec));
+  EXPECT_EQ(parsed.spec.task_kind, SweepTaskKind::Optimize);
+}
+
+TEST(ServiceProtocol, EvaluateRoundTripsWithItsAssignment) {
+  EvaluateRequest request;
+  request.id = "probe";
+  request.assignment = {4, 2, 0, 8, 6};
+  request.spec = opt_spec();
+  const auto parsed = parse_evaluate(write_evaluate(request));
+  EXPECT_EQ(parsed.id, "probe");
+  EXPECT_EQ(parsed.assignment, (std::vector<TileId>{4, 2, 0, 8, 6}));
+  EXPECT_EQ(cell_count(parsed.spec), cell_count(request.spec));
+}
+
+TEST(ServiceProtocol, RepliesRoundTripThroughParseReply) {
+  const auto accepted = parse_reply(accepted_reply("a1", 8));
+  EXPECT_EQ(accepted.kind, ServiceReply::Kind::Accepted);
+  EXPECT_EQ(accepted.id, "a1");
+  EXPECT_EQ(accepted.cells, 8u);
+
+  const auto spec = opt_spec();
+  const auto failed =
+      make_failed_cell(spec, expand(spec)[1], "deliberate test failure");
+  const auto cell = parse_reply(cell_reply("a1", failed));
+  EXPECT_EQ(cell.kind, ServiceReply::Kind::Cell);
+  EXPECT_EQ(cell.result.cell.index, 1u);
+  EXPECT_EQ(cell.result.status, CellStatus::Failed);
+  EXPECT_EQ(cell.result.error, "deliberate test failure");
+
+  const auto done = parse_reply(done_reply("a1", 3, 1));
+  EXPECT_EQ(done.kind, ServiceReply::Kind::Done);
+  EXPECT_EQ(done.ok, 3u);
+  EXPECT_EQ(done.failed, 1u);
+
+  const auto rejected = parse_reply(
+      rejected_reply("a1", RejectKind::Overloaded, "queue is full today"));
+  EXPECT_EQ(rejected.kind, ServiceReply::Kind::Rejected);
+  EXPECT_EQ(rejected.reject, RejectKind::Overloaded);
+  EXPECT_EQ(rejected.reason, "queue is full today");
+
+  const auto evaluation =
+      parse_reply(evaluation_reply("a1", -3.25, 18.5, 2.125));
+  EXPECT_EQ(evaluation.kind, ServiceReply::Kind::Evaluation);
+  EXPECT_EQ(evaluation.fitness, -3.25);
+  EXPECT_EQ(evaluation.snr_db, 18.5);
+  EXPECT_EQ(evaluation.loss_db, 2.125);
+
+  const auto stats = parse_reply(stats_reply("queue_depth 0\ncells_ok 7"));
+  EXPECT_EQ(stats.kind, ServiceReply::Kind::Stats);
+  EXPECT_EQ(stats.body, "queue_depth 0\ncells_ok 7");
+
+  const auto error = parse_reply(error_reply("unknown request"));
+  EXPECT_EQ(error.kind, ServiceReply::Kind::Error);
+  EXPECT_EQ(error.body, "unknown request");
+}
+
+TEST(ServiceProtocol, RejectKindTokensRoundTrip) {
+  for (const auto kind :
+       {RejectKind::Overloaded, RejectKind::Budget, RejectKind::Deadline,
+        RejectKind::Malformed, RejectKind::Shutdown, RejectKind::Internal})
+    EXPECT_EQ(parse_reject_kind(reject_kind_token(kind)), kind);
+  EXPECT_THROW((void)parse_reject_kind("nonsense"), ParseError);
+}
+
+TEST(ServiceProtocol, BadRequestIdsAreRejected) {
+  EXPECT_THROW(validate_request_id(""), ParseError);
+  EXPECT_THROW(validate_request_id("has space"), ParseError);
+  EXPECT_THROW(validate_request_id("has\ttab"), ParseError);
+  EXPECT_THROW(validate_request_id(std::string(65, 'x')), ParseError);
+  EXPECT_NO_THROW(validate_request_id(std::string(64, 'x')));
+
+  ServiceRequest request;
+  request.id = "bad id";
+  request.spec = opt_spec();
+  EXPECT_THROW((void)write_request(request), ParseError);
+}
+
+TEST(ServiceProtocol, MalformedPayloadsThrowStructuredErrors) {
+  EXPECT_THROW((void)parse_request("request only-an-id"), ParseError);
+  EXPECT_THROW((void)parse_request(
+                   "request j deadline 0 max_cells 0\nnot a spec"),
+               ParseError);
+  // A header without any spec body at all.
+  EXPECT_THROW((void)parse_request("request j deadline 0 max_cells 0"),
+               ParseError);
+  EXPECT_THROW((void)parse_evaluate("evaluate j tiles not-a-number\nx"),
+               ParseError);
+  EXPECT_THROW((void)parse_reply("gibberish frame"), ParseError);
+  EXPECT_THROW((void)parse_reply(""), ParseError);
+}
+
+// --- FrameDecoder on adversarial input --------------------------------------
+
+TEST(ServiceFraming, TruncatedLengthPrefixStaysPendingThenFailsLoudly) {
+  FrameDecoder decoder;
+  // A length prefix cut mid-number is indistinguishable from a slow
+  // sender: the decoder must wait, not guess.
+  decoder.feed("frame 10");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.has_partial());
+  // But a "header" that keeps growing without a newline can only be
+  // garbage; the decoder gives a diagnostic instead of buffering it
+  // forever.
+  decoder.feed(std::string(80, '7'));
+  EXPECT_THROW((void)decoder.next(), ParseError);
+}
+
+TEST(ServiceFraming, ChecksumCorruptFrameThrows) {
+  std::string frame = encode_frame("service payload under test");
+  frame[frame.find("payload")] = 'q';  // flip one payload byte
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  EXPECT_THROW((void)decoder.next(), ParseError);
+}
+
+TEST(ServiceFraming, OversizedDeclaredLengthIsRejectedBeforeBuffering) {
+  // A hostile header declaring a >1 GiB payload must fail immediately —
+  // long before any attempt to buffer or allocate that much.
+  FrameDecoder decoder;
+  decoder.feed("frame 1073741825 0123456789abcdef\n");
+  EXPECT_THROW((void)decoder.next(), ParseError);
+
+  FrameDecoder absurd;
+  absurd.feed("frame 99999999999999999999 0123456789abcdef\n");
+  EXPECT_THROW((void)absurd.next(), ParseError);
+}
+
+TEST(ServiceFraming, InterleavedPartialFeedsYieldFramesInOrder) {
+  const std::string payloads[] = {"first reply", "",
+                                  "third\nwith embedded newline"};
+  std::string stream;
+  for (const auto& payload : payloads) stream += encode_frame(payload);
+
+  // Deliberately evil split points: inside the length digits, between
+  // header and payload, inside the payload, and across frame borders.
+  FrameDecoder decoder;
+  std::vector<std::string> decoded;
+  const std::size_t cuts[] = {3, 8, 14, 20, 27, 41, 55};
+  std::size_t begin = 0;
+  for (const auto cut : cuts) {
+    if (cut <= begin || cut > stream.size()) continue;
+    decoder.feed(std::string_view(stream).substr(begin, cut - begin));
+    begin = cut;
+    while (auto frame = decoder.next()) decoded.push_back(*frame);
+  }
+  decoder.feed(std::string_view(stream).substr(begin));
+  while (auto frame = decoder.next()) decoded.push_back(*frame);
+
+  ASSERT_EQ(decoded.size(), std::size(payloads));
+  for (std::size_t i = 0; i < decoded.size(); ++i)
+    EXPECT_EQ(decoded[i], payloads[i]);
+  EXPECT_FALSE(decoder.has_partial());
+}
+
+// --- broker admission control -----------------------------------------------
+
+/// Collects one request's event stream and signals its terminal event.
+struct Collected {
+  std::mutex mutex;
+  std::vector<CellResult> cells;
+  std::size_t accepted_cells = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  bool done = false;
+  bool rejected = false;
+  RejectKind kind = RejectKind::Internal;
+  std::string reason;
+  std::promise<void> terminal;
+
+  JobEvents events() {
+    JobEvents events;
+    events.on_accepted = [this](std::size_t cells) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      accepted_cells = cells;
+    };
+    events.on_cell = [this](const CellResult& result) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      cells.push_back(result);
+      return true;
+    };
+    events.on_done = [this](std::size_t ok_count, std::size_t failed_count) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        ok = ok_count;
+        failed = failed_count;
+        done = true;
+      }
+      terminal.set_value();
+    };
+    events.on_reject = [this](RejectKind reject_kind,
+                              const std::string& why) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        rejected = true;
+        kind = reject_kind;
+        reason = why;
+      }
+      terminal.set_value();
+    };
+    return events;
+  }
+
+  void wait() {
+    ASSERT_EQ(terminal.get_future().wait_for(kWaitLimit),
+              std::future_status::ready)
+        << "request never reached a terminal event";
+  }
+};
+
+ServiceRequest make_request(std::string id, SweepSpec spec) {
+  ServiceRequest request;
+  request.id = std::move(id);
+  request.spec = std::move(spec);
+  return request;
+}
+
+TEST(RequestBroker, FullQueueShedsOverloadedImmediately) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.max_queue_depth = 1;
+  options.start_paused = true;  // the first job stays queued
+  RequestBroker broker(options);
+
+  Collected first;
+  const auto a = broker.submit(make_request("a", opt_spec()), first.events());
+  ASSERT_TRUE(a.accepted);
+  EXPECT_EQ(first.accepted_cells, 4u);  // fired synchronously in submit
+
+  Collected second;
+  const auto b = broker.submit(make_request("b", opt_spec()),
+                               second.events());
+  EXPECT_FALSE(b.accepted);
+  EXPECT_EQ(b.kind, RejectKind::Overloaded);
+  EXPECT_NE(b.reason.find("queue is full"), std::string::npos);
+
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.requests_accepted, 1u);
+  EXPECT_EQ(snap.shed_overloaded, 1u);
+  EXPECT_EQ(snap.queue_depth, 1u);
+
+  broker.resume();
+  first.wait();
+  EXPECT_TRUE(first.done);
+  EXPECT_EQ(first.ok, 4u);
+}
+
+TEST(RequestBroker, OutstandingCellCapShedsBeforeQueueDepthDoes) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.max_queue_depth = 8;
+  options.max_outstanding_cells = 6;  // one 4-cell grid fits, two don't
+  options.start_paused = true;
+  RequestBroker broker(options);
+
+  Collected first;
+  ASSERT_TRUE(
+      broker.submit(make_request("a", opt_spec()), first.events()).accepted);
+  Collected second;
+  const auto b = broker.submit(make_request("b", opt_spec()),
+                               second.events());
+  EXPECT_FALSE(b.accepted);
+  EXPECT_EQ(b.kind, RejectKind::Overloaded);
+  EXPECT_NE(b.reason.find("exceed the cap"), std::string::npos);
+
+  broker.resume();
+  first.wait();
+}
+
+TEST(RequestBroker, CellBudgetsRejectOversizedGridsAsBudget) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  RequestBroker broker(options);
+
+  // The client's own cap.
+  auto request = make_request("tight", opt_spec());
+  request.max_cells = 2;  // the grid has 4
+  const auto client_capped = broker.submit(std::move(request), {});
+  EXPECT_FALSE(client_capped.accepted);
+  EXPECT_EQ(client_capped.kind, RejectKind::Budget);
+
+  // The server-side cap, independent of what the client asked for.
+  BrokerOptions capped_options;
+  capped_options.batch.workers = 1;
+  capped_options.max_cells_per_request = 2;
+  RequestBroker capped(capped_options);
+  const auto server_capped =
+      capped.submit(make_request("big", opt_spec()), {});
+  EXPECT_FALSE(server_capped.accepted);
+  EXPECT_EQ(server_capped.kind, RejectKind::Budget);
+  EXPECT_EQ(capped.metrics().shed_budget, 1u);
+}
+
+TEST(RequestBroker, EmptyGridIsMalformedNotAccepted) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  RequestBroker broker(options);
+  SweepSpec empty;  // no dimensions at all: cell_count == 0
+  const auto outcome = broker.submit(make_request("empty", empty), {});
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.kind, RejectKind::Malformed);
+  EXPECT_EQ(broker.metrics().requests_malformed, 1u);
+}
+
+TEST(RequestBroker, ExpiredDeadlineShedsTheQueuedJob) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.start_paused = true;
+  RequestBroker broker(options);
+
+  auto request = make_request("stale", opt_spec());
+  request.deadline_seconds = 0.02;
+  Collected collected;
+  ASSERT_TRUE(broker.submit(std::move(request), collected.events()).accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  broker.resume();
+  collected.wait();
+  EXPECT_TRUE(collected.rejected);
+  EXPECT_EQ(collected.kind, RejectKind::Deadline);
+  EXPECT_EQ(broker.metrics().shed_deadline, 1u);
+  EXPECT_TRUE(collected.cells.empty());  // shed means never run
+}
+
+TEST(RequestBroker, StreamsBitIdenticalCellsAndReusesTheMemoBank) {
+  const auto spec = opt_spec();
+  const auto reference = BatchEngine(BatchOptions{}).run(spec);
+
+  BrokerOptions options;
+  options.batch.workers = 2;
+  RequestBroker broker(options);
+
+  for (int round = 0; round < 2; ++round) {
+    Collected collected;
+    ASSERT_TRUE(
+        broker.submit(make_request("r" + std::to_string(round), spec),
+                      collected.events())
+            .accepted);
+    collected.wait();
+    ASSERT_TRUE(collected.done);
+    EXPECT_EQ(collected.ok, reference.size());
+    EXPECT_EQ(collected.failed, 0u);
+    // Cells stream in completion order; restore grid order to compare.
+    ASSERT_EQ(collected.cells.size(), reference.size());
+    std::vector<CellResult> ordered(reference.size());
+    for (auto& cell : collected.cells)
+      ordered[cell.cell.index] = std::move(cell);
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      expect_identical_cell(ordered[i], reference[i], spec.task_kind);
+  }
+
+  // The identical repeat request hit the cross-request reuse state:
+  // same problems (cache hits), and its evaluations were answered from
+  // the harvested memo bank.
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.requests_completed, 2u);
+  EXPECT_GT(snap.problem_cache_hits, 0u);
+  EXPECT_GT(snap.evaluator_cache_hits, 0u);
+  EXPECT_GT(snap.cells_ok, 0u);
+  EXPECT_GT(snap.wall_max_seconds, 0.0);
+}
+
+TEST(RequestBroker, EvaluateScoresAMappingThroughTheSharedCache) {
+  const auto spec = opt_spec();
+  BrokerOptions options;
+  options.batch.workers = 1;
+  RequestBroker broker(options);
+
+  EvaluateRequest request;
+  request.id = "probe";
+  request.spec = spec;
+  request.assignment = {0, 1, 2, 3, 4};
+  const auto answer = broker.evaluate(request);
+
+  // Reference: the same mapping scored directly on a freshly built
+  // problem. Bitwise equal — the service cache only shifts cost.
+  const SweepCell cell{};
+  const auto problem =
+      make_problem(spec, cell, make_cell_network(spec, 0, 0));
+  Evaluator evaluator(problem, options.batch.evaluator);
+  const auto mapping =
+      Mapping::from_assignment({0, 1, 2, 3, 4}, problem.tile_count());
+  EXPECT_EQ(answer.fitness, evaluator.evaluate(mapping));
+  const auto raw = evaluator.evaluate_raw(mapping);
+  EXPECT_EQ(answer.snr_db, raw.worst_snr_db);
+  EXPECT_EQ(answer.loss_db, raw.worst_loss_db);
+
+  // The repeat evaluation is answered from the harvested memo bank.
+  const auto repeat = broker.evaluate(request);
+  EXPECT_EQ(repeat.fitness, answer.fitness);
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.single_evaluations, 2u);
+  EXPECT_GT(snap.evaluator_cache_hits, 0u);
+
+  EvaluateRequest wrong = request;
+  wrong.assignment = {0, 1};  // workload has 5 tasks
+  EXPECT_THROW((void)broker.evaluate(wrong), Error);
+}
+
+// --- serve_client over real socketpairs -------------------------------------
+
+/// Both ends of a framed AF_UNIX socketpair connection.
+struct ConnectionPair {
+  std::unique_ptr<Connection> client;
+  std::unique_ptr<Connection> server;
+};
+
+ConnectionPair make_connection_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw ExecError("socketpair failed");
+  return {make_fd_connection(fds[1]), make_fd_connection(fds[0])};
+}
+
+/// Client-side handshake; fails the test on a mismatch.
+void shake_hands(Connection& conn) {
+  ASSERT_TRUE(conn.send(kServiceHello));
+  const auto hello = conn.recv(30.0);
+  ASSERT_EQ(hello.status, Connection::RecvStatus::Ok);
+  EXPECT_EQ(parse_reply(hello.payload).kind, ServiceReply::Kind::Hello);
+}
+
+/// Drive one request to its terminal reply, collecting streamed cells
+/// into grid order.
+struct WireOutcome {
+  std::vector<CellResult> cells;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  bool done = false;
+  bool rejected = false;
+  RejectKind kind = RejectKind::Internal;
+  std::string reason;
+};
+
+WireOutcome run_request_over(Connection& conn, const ServiceRequest& request) {
+  WireOutcome outcome;
+  EXPECT_TRUE(conn.send(write_request(request)));
+  for (;;) {
+    const auto received = conn.recv(60.0);
+    if (received.status != Connection::RecvStatus::Ok) {
+      ADD_FAILURE() << "connection ended mid-request";
+      return outcome;
+    }
+    const auto reply = parse_reply(received.payload);
+    switch (reply.kind) {
+      case ServiceReply::Kind::Accepted:
+        outcome.cells.resize(reply.cells);
+        break;
+      case ServiceReply::Kind::Cell: {
+        const auto index = reply.result.cell.index;
+        if (index >= outcome.cells.size()) {
+          ADD_FAILURE() << "cell index out of range";
+          return outcome;
+        }
+        outcome.cells[index] = reply.result;
+        break;
+      }
+      case ServiceReply::Kind::Done:
+        outcome.done = true;
+        outcome.ok = reply.ok;
+        outcome.failed = reply.failed;
+        return outcome;
+      case ServiceReply::Kind::Rejected:
+        outcome.rejected = true;
+        outcome.kind = reply.reject;
+        outcome.reason = reply.reason;
+        return outcome;
+      default:
+        ADD_FAILURE() << "unexpected reply kind";
+        return outcome;
+    }
+  }
+}
+
+TEST(ServeClient, ConcurrentMixedKindClientsAreBitIdenticalToInProcess) {
+  const auto optimize = opt_spec();
+  const auto sample = sample_spec();
+  const auto optimize_reference = BatchEngine(BatchOptions{}).run(optimize);
+  const auto sample_reference = BatchEngine(BatchOptions{}).run(sample);
+
+  BrokerOptions options;
+  options.batch.workers = 2;
+  RequestBroker broker(options);
+
+  // Two concurrent clients down one broker: one Optimize (submitted
+  // twice — the repeat must come from the memo bank, bit-identically),
+  // one Sample.
+  auto pair_a = make_connection_pair();
+  auto pair_b = make_connection_pair();
+  std::thread server_a(
+      [&] { (void)serve_client(*pair_a.server, broker); });
+  std::thread server_b(
+      [&] { (void)serve_client(*pair_b.server, broker); });
+
+  std::thread client_a([&] {
+    shake_hands(*pair_a.client);
+    for (int round = 0; round < 2; ++round) {
+      const auto outcome = run_request_over(
+          *pair_a.client, make_request("opt" + std::to_string(round),
+                                       optimize));
+      ASSERT_TRUE(outcome.done);
+      EXPECT_EQ(outcome.ok, optimize_reference.size());
+      ASSERT_EQ(outcome.cells.size(), optimize_reference.size());
+      for (std::size_t i = 0; i < outcome.cells.size(); ++i)
+        expect_identical_cell(outcome.cells[i], optimize_reference[i],
+                              optimize.task_kind);
+    }
+    (void)pair_a.client->send(kServiceQuit);
+  });
+  std::thread client_b([&] {
+    shake_hands(*pair_b.client);
+    const auto outcome =
+        run_request_over(*pair_b.client, make_request("smp", sample));
+    ASSERT_TRUE(outcome.done);
+    ASSERT_EQ(outcome.cells.size(), sample_reference.size());
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i)
+      expect_identical_cell(outcome.cells[i], sample_reference[i],
+                            sample.task_kind);
+    // The same connection also serves stats and single evaluations.
+    ASSERT_TRUE(pair_b.client->send(kServiceStats));
+    const auto stats_frame = pair_b.client->recv(30.0);
+    ASSERT_EQ(stats_frame.status, Connection::RecvStatus::Ok);
+    const auto stats = parse_reply(stats_frame.payload);
+    EXPECT_EQ(stats.kind, ServiceReply::Kind::Stats);
+    EXPECT_NE(stats.body.find("uptime_seconds"), std::string::npos);
+    EXPECT_NE(stats.body.find("requests_accepted"), std::string::npos);
+
+    EvaluateRequest probe;
+    probe.id = "probe";
+    probe.spec = optimize;
+    probe.assignment = {0, 1, 2, 3, 4};
+    ASSERT_TRUE(pair_b.client->send(write_evaluate(probe)));
+    const auto eval_frame = pair_b.client->recv(30.0);
+    ASSERT_EQ(eval_frame.status, Connection::RecvStatus::Ok);
+    EXPECT_EQ(parse_reply(eval_frame.payload).kind,
+              ServiceReply::Kind::Evaluation);
+    (void)pair_b.client->send(kServiceQuit);
+  });
+
+  client_a.join();
+  client_b.join();
+  server_a.join();
+  server_b.join();
+
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.connections, 2u);
+  EXPECT_EQ(snap.requests_accepted, 3u);
+  EXPECT_EQ(snap.requests_completed, 3u);
+  EXPECT_EQ(snap.stats_requests, 1u);
+  EXPECT_EQ(snap.single_evaluations, 1u);
+  // The repeated Optimize request reused the cross-request memo bank.
+  EXPECT_GT(snap.evaluator_cache_hits, 0u);
+  EXPECT_GT(snap.problem_cache_hits, 0u);
+}
+
+TEST(ServeClient, VanishedClientCancelsItsJobWithoutHanging) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.start_paused = true;  // the job is still queued when we vanish
+  RequestBroker broker(options);
+
+  auto pair = make_connection_pair();
+  std::thread server([&] { (void)serve_client(*pair.server, broker); });
+
+  {
+    auto client = std::move(pair.client);
+    shake_hands(*client);
+    ASSERT_TRUE(client->send(write_request(make_request("gone", opt_spec()))));
+    const auto accepted = client->recv(30.0);
+    ASSERT_EQ(accepted.status, Connection::RecvStatus::Ok);
+    EXPECT_EQ(parse_reply(accepted.payload).kind,
+              ServiceReply::Kind::Accepted);
+    client->close();  // the client vanishes with its job still queued
+  }
+
+  // Give the handler a moment to observe the hangup and latch its
+  // writer shut, so the broker's liveness probe sees a dead client
+  // before the queue unfreezes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  broker.resume();
+  server.join();  // must not hang: the alive() probe skips the job
+
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.requests_canceled, 1u);
+  EXPECT_EQ(snap.requests_completed, 0u);
+  EXPECT_EQ(snap.cells_ok, 0u);  // canceled before any cell ran
+}
+
+TEST(ServeClient, MalformedAndUnknownFramesGetStructuredAnswers) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  RequestBroker broker(options);
+
+  auto pair = make_connection_pair();
+  // Like ServiceServer's handler threads: closing the connection after
+  // serve_client returns is the caller's job.
+  std::thread server([&] {
+    (void)serve_client(*pair.server, broker);
+    pair.server->close();
+  });
+  shake_hands(*pair.client);
+
+  // A request whose header parses but whose body is junk: a structured
+  // malformed rejection naming the salvaged id, connection stays up.
+  ASSERT_TRUE(pair.client->send(
+      "request broken deadline 0 max_cells 0\nnot a spec at all"));
+  const auto rejected = pair.client->recv(30.0);
+  ASSERT_EQ(rejected.status, Connection::RecvStatus::Ok);
+  const auto reply = parse_reply(rejected.payload);
+  EXPECT_EQ(reply.kind, ServiceReply::Kind::Rejected);
+  EXPECT_EQ(reply.id, "broken");
+  EXPECT_EQ(reply.reject, RejectKind::Malformed);
+
+  // An unknown frame kind: an error reply, then the connection ends.
+  ASSERT_TRUE(pair.client->send("telemetry subscribe"));
+  const auto error = pair.client->recv(30.0);
+  ASSERT_EQ(error.status, Connection::RecvStatus::Ok);
+  EXPECT_EQ(parse_reply(error.payload).kind, ServiceReply::Kind::Error);
+  const auto closed = pair.client->recv(30.0);
+  EXPECT_EQ(closed.status, Connection::RecvStatus::Closed);
+
+  server.join();
+  EXPECT_EQ(broker.metrics().requests_malformed, 1u);
+}
+
+TEST(ServeClient, HandshakeMismatchIsAnsweredAndDropped) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  RequestBroker broker(options);
+
+  auto pair = make_connection_pair();
+  std::thread server([&] { (void)serve_client(*pair.server, broker); });
+  ASSERT_TRUE(pair.client->send("hello some-other-protocol v9"));
+  const auto reply = pair.client->recv(30.0);
+  ASSERT_EQ(reply.status, Connection::RecvStatus::Ok);
+  EXPECT_EQ(parse_reply(reply.payload).kind, ServiceReply::Kind::Error);
+  server.join();
+  EXPECT_EQ(broker.metrics().connections, 0u);
+}
+
+// --- the TCP daemon surface (ServiceServer) ---------------------------------
+
+TEST(ServiceServer, ServesARealTcpClientOnAnEphemeralPort) {
+  BrokerOptions options;
+  options.batch.workers = 2;
+  ServiceServer server(0, options);
+  ASSERT_NE(server.port(), 0);
+  std::thread accept_thread([&] { server.run(/*max_connections=*/1); });
+
+  const auto spec = opt_spec();
+  const auto reference = BatchEngine(BatchOptions{}).run(spec);
+  TcpTransport transport(10.0);
+  auto conn =
+      transport.connect("127.0.0.1:" + std::to_string(server.port()));
+  shake_hands(*conn);
+  const auto outcome = run_request_over(*conn, make_request("tcp", spec));
+  ASSERT_TRUE(outcome.done);
+  ASSERT_EQ(outcome.cells.size(), reference.size());
+  for (std::size_t i = 0; i < outcome.cells.size(); ++i)
+    expect_identical_cell(outcome.cells[i], reference[i], spec.task_kind);
+  (void)conn->send(kServiceQuit);
+  conn->close();
+  accept_thread.join();
+  EXPECT_EQ(server.broker().metrics().requests_completed, 1u);
+}
+
+}  // namespace
+}  // namespace phonoc
