@@ -7,20 +7,33 @@
 /// Before the benchmarks run, main() verifies that the full and the
 /// incremental evaluation paths agree bitwise over a random swap
 /// sequence on the large workload, then reports ns/step and the
-/// full/delta speedup measured with a plain timer.
+/// full/delta speedup measured with a plain timer. A second report
+/// section does the same for the SoA batched kernel: bitwise agreement
+/// against per-mapping evaluation, then per-mapping throughput
+/// (mappings/sec) across batch sizes {1, 8, 64, 512} and CG sizes.
+/// --json=FILE dumps the batched section's headline numbers
+/// (bench/BENCH_batch_eval.json; regenerate with
+/// bench/update_snapshots.sh).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
 
 #include "core/evaluator.hpp"
 #include "core/experiment.hpp"
+#include "model/batch_eval.hpp"
 #include "model/evaluation.hpp"
 #include "model/incremental.hpp"
 #include "router/registry.hpp"
 #include "router/router_model.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 #include "workloads/benchmarks.hpp"
 #include "workloads/generator.hpp"
@@ -117,6 +130,161 @@ void BM_NoiseContribution(benchmark::State& state) {
     benchmark::DoNotOptimize(noise_contribution(*net, a, b));
 }
 BENCHMARK(BM_NoiseContribution);
+
+// --- batched (SoA) vs scalar bulk evaluation --------------------------------
+
+/// A smaller CG on a 4x4 mesh for the CG-size axis of the batched
+/// section (the large problem above is the 8x8-torus reference).
+MappingProblem make_small_problem() {
+  auto cg = random_cg({.tasks = 12,
+                       .avg_out_degree = 2.0,
+                       .min_bandwidth = 8,
+                       .max_bandwidth = 256,
+                       .seed = 5,
+                       .acyclic = false});
+  return MappingProblem(std::move(cg),
+                        make_network(TopologyKind::Mesh, 4, "crux"),
+                        make_objective(OptimizationGoal::Snr));
+}
+
+void BM_BatchedEvaluate(benchmark::State& state) {
+  const auto problem = make_large_problem();
+  const Evaluator evaluator(problem);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Mapping> mappings;
+  for (std::size_t i = 0; i < batch; ++i)
+    mappings.push_back(
+        Mapping::random(problem.task_count(), problem.tile_count(), rng));
+  std::vector<BatchPoint> points(batch);
+  for (auto _ : state) {
+    evaluator.evaluate_raw_batch(mappings, points);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_BatchedEvaluate)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+struct BatchedHeadline {
+  std::size_t edges = 0;
+  double scalar_mps = 0.0;  ///< scalar loop, mappings/sec
+  double batched_mps[4] = {0.0, 0.0, 0.0, 0.0};  ///< B = 1, 8, 64, 512
+};
+
+constexpr std::size_t kBatchSizes[4] = {1, 8, 64, 512};
+
+/// Assert batched/scalar agreement (bitwise) on `problem`, then time
+/// the scalar per-mapping loop against the batched kernel at each
+/// batch size, single-threaded. Returns the headline numbers.
+BatchedHeadline report_batched_for(const char* label,
+                                   const MappingProblem& problem) {
+  BatchedHeadline head;
+  head.edges = problem.cg().communication_count();
+  const Evaluator evaluator(problem);
+  std::fprintf(stderr, "# batched vs scalar, %s: %zu tasks, %zu edges\n",
+               label, problem.task_count(), head.edges);
+
+  // Agreement: one odd-sized batch, every mapping checked bitwise
+  // against evaluate_mapping.
+  {
+    Rng rng(23);
+    const std::size_t n = 101;
+    std::vector<Mapping> mappings;
+    for (std::size_t i = 0; i < n; ++i)
+      mappings.push_back(
+          Mapping::random(problem.task_count(), problem.tile_count(), rng));
+    std::vector<BatchPoint> points(n);
+    evaluator.evaluate_raw_batch(mappings, points);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto full = evaluate_mapping(problem.network(), problem.cg(),
+                                         mappings[i].assignment());
+      if (full.worst_loss_db != points[i].worst_loss_db ||
+          full.worst_snr_db != points[i].worst_snr_db) {
+        std::fprintf(stderr,
+                     "FATAL: batched and scalar evaluation disagree on %s "
+                     "at mapping %zu\n",
+                     label, i);
+        std::exit(1);
+      }
+    }
+    std::fprintf(stderr,
+                 "# agreement: %zu random mappings, batched == scalar "
+                 "bitwise\n",
+                 n);
+  }
+
+  // Throughput: the same total mapping count through each path.
+  const std::size_t total = head.edges >= 100 ? 2048 : 8192;
+  Rng rng(31);
+  std::vector<Mapping> mappings;
+  mappings.reserve(total);
+  for (std::size_t i = 0; i < total; ++i)
+    mappings.push_back(
+        Mapping::random(problem.task_count(), problem.tile_count(), rng));
+
+  Timer scalar_timer;
+  for (const auto& mapping : mappings) {
+    const auto result = evaluator.evaluate_raw(mapping);
+    benchmark::DoNotOptimize(result.worst_snr_db);
+  }
+  head.scalar_mps = total / scalar_timer.elapsed_seconds();
+  std::fprintf(stderr, "# scalar loop:   %12.0f mappings/sec\n",
+               head.scalar_mps);
+
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::size_t batch = kBatchSizes[s];
+    std::vector<BatchPoint> points(batch);
+    Timer timer;
+    for (std::size_t start = 0; start < total; start += batch) {
+      const std::size_t n = std::min(batch, total - start);
+      evaluator.evaluate_raw_batch(
+          std::span<const Mapping>(mappings.data() + start, n),
+          std::span<BatchPoint>(points.data(), n));
+      benchmark::DoNotOptimize(points.data());
+    }
+    head.batched_mps[s] = total / timer.elapsed_seconds();
+    std::fprintf(stderr,
+                 "# batched B=%-3zu: %12.0f mappings/sec  (%.1fx)\n", batch,
+                 head.batched_mps[s], head.batched_mps[s] / head.scalar_mps);
+  }
+  std::fprintf(stderr, "\n");
+  return head;
+}
+
+void report_batched_vs_scalar(const std::optional<std::string>& json_path) {
+  const auto small = make_small_problem();
+  report_batched_for("small CG on 4x4 mesh", small);
+  const auto large = make_large_problem();
+  const auto head = report_batched_for("reference CG on 8x8 torus", large);
+
+  const double speedup_64 = head.batched_mps[2] / head.scalar_mps;
+  const double speedup_512 = head.batched_mps[3] / head.scalar_mps;
+  std::fprintf(stderr, "# reference-CG speedup: B=64 %.1fx, B=512 %.1fx (%s "
+               "the >=2x acceptance bar)\n\n",
+               speedup_64, speedup_512,
+               std::min(speedup_64, speedup_512) >= 2.0 ? "PASS" : "below");
+
+  if (!json_path) return;
+  std::ofstream out(*json_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << *json_path << " for writing\n";
+    std::exit(1);
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"batch_eval\",\n"
+      << "  \"reference_edges\": " << head.edges << ",\n"
+      << "  \"scalar_mappings_per_sec\": " << format_fixed(head.scalar_mps, 0)
+      << ",\n";
+  for (std::size_t s = 0; s < 4; ++s)
+    out << "  \"batched_b" << kBatchSizes[s]
+        << "_mappings_per_sec\": " << format_fixed(head.batched_mps[s], 0)
+        << ",\n";
+  out << "  \"speedup_b64\": " << format_fixed(speedup_64, 2) << ",\n"
+      << "  \"speedup_b512\": " << format_fixed(speedup_512, 2) << "\n"
+      << "}\n";
+  std::cout << "# snapshot written to " << *json_path << '\n';
+}
 
 // --- full vs delta evaluation per optimizer step ----------------------------
 
@@ -226,9 +394,21 @@ void report_full_vs_delta() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --json=FILE (ours) before google-benchmark sees the argv.
+  std::optional<std::string> json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = std::string(argv[i] + 7);
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   report_full_vs_delta();
+  report_batched_vs_scalar(json_path);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -4,7 +4,11 @@
 #
 #   bench/BENCH_eval_micro.json     google-benchmark JSON of the hot-path
 #                                   microbenchmarks (evaluator, delta
-#                                   evaluation, router/network models)
+#                                   evaluation, batched SoA kernel,
+#                                   router/network models)
+#   bench/BENCH_batch_eval.json     headline numbers of the batched-vs-
+#                                   scalar section (mappings/sec per
+#                                   batch size + speedups)
 #   bench/BENCH_parallel_sweep.json headline numbers of the batch
 #                                   speedup + bit-identity bench
 #
@@ -24,6 +28,7 @@ if [ ! -x "$build/bench_eval_micro" ] || [ ! -x "$build/bench_parallel_sweep" ];
 fi
 
 "$build/bench_eval_micro" \
+  --json=bench/BENCH_batch_eval.json \
   --benchmark_out=bench/BENCH_eval_micro.json \
   --benchmark_out_format=json
 
@@ -34,4 +39,5 @@ PHONOC_SWEEP_EVALS=800 "$build/bench_parallel_sweep" \
   --json=bench/BENCH_parallel_sweep.json >/dev/null
 
 echo "snapshots updated:"
-ls -l bench/BENCH_eval_micro.json bench/BENCH_parallel_sweep.json
+ls -l bench/BENCH_eval_micro.json bench/BENCH_batch_eval.json \
+  bench/BENCH_parallel_sweep.json

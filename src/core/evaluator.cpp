@@ -175,4 +175,131 @@ EvaluationResult Evaluator::evaluate_raw(const Mapping& mapping) const {
   return run_evaluation(mapping, needs_detail_);
 }
 
+BatchEvaluator& Evaluator::batch_kernel() const {
+  if (!batch_)
+    batch_ = std::make_unique<BatchEvaluator>(problem_.network(),
+                                              problem_.cg());
+  return *batch_;
+}
+
+std::span<const TileId> Evaluator::flatten(
+    std::span<const Mapping> mappings) const {
+  const std::size_t tasks = problem_.cg().task_count();
+  batch_scratch_.clear();
+  batch_scratch_.reserve(mappings.size() * tasks);
+  for (const auto& mapping : mappings) {
+    const auto assignment = mapping.assignment();
+    require(assignment.size() == tasks,
+            "Evaluator: batched mapping has the wrong task count");
+    batch_scratch_.insert(batch_scratch_.end(), assignment.begin(),
+                          assignment.end());
+  }
+  return batch_scratch_;
+}
+
+void Evaluator::evaluate_raw_batch(std::span<const Mapping> mappings,
+                                   std::span<BatchPoint> out) const {
+  require(out.size() == mappings.size(),
+          "Evaluator::evaluate_raw_batch: out size != mapping count");
+  if (mappings.empty()) return;
+  batch_kernel().evaluate_trusted(flatten(mappings), mappings.size(), out);
+}
+
+void Evaluator::evaluate_batch(std::span<const Mapping> mappings,
+                               std::span<double> out) {
+  require(out.size() == mappings.size(),
+          "Evaluator::evaluate_batch: out size != mapping count");
+  const std::size_t n = mappings.size();
+  if (n == 0) return;
+  const bool memoize = options_.cache_capacity > 0;
+  const std::size_t tasks = problem_.cg().task_count();
+
+  // Pass 1 — peek: pick the rows the kernel must score physically. A
+  // row is skipped when the memo already holds it or an earlier batch
+  // row carries the same assignment (the replay below will have
+  // inserted it by then). Peeking never touches the LRU order or any
+  // counter, so the replay's lookups see exactly the state a
+  // sequential loop would.
+  std::vector<std::uint64_t> hashes(n, 0);
+  std::vector<std::int64_t> row_of(n, -1);
+  std::vector<std::size_t> scored;
+  batch_scratch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto assignment = mappings[i].assignment();
+    require(assignment.size() == tasks,
+            "Evaluator: batched mapping has the wrong task count");
+    if (memoize) {
+      hashes[i] = mappings[i].hash();
+      if (cache_contains(assignment, hashes[i])) continue;
+      bool duplicate = false;
+      for (const std::size_t j : scored) {
+        if (hashes[j] != hashes[i]) continue;
+        const auto earlier = mappings[j].assignment();
+        if (std::equal(earlier.begin(), earlier.end(), assignment.begin(),
+                       assignment.end())) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+    }
+    row_of[i] = static_cast<std::int64_t>(scored.size());
+    scored.push_back(i);
+    batch_scratch_.insert(batch_scratch_.end(), assignment.begin(),
+                          assignment.end());
+  }
+
+  // Kernel pass: one vectorized sweep over every row that needs it
+  // (with per-edge detail when the objective folds over it).
+  std::vector<BatchPoint> points(scored.size());
+  std::vector<EdgeMetrics> detail;
+  const std::size_t edge_count = problem_.cg().edges().size();
+  if (!scored.empty()) {
+    auto& kernel = batch_kernel();
+    if (needs_detail_) {
+      detail.resize(scored.size() * edge_count);
+      kernel.evaluate_trusted(batch_scratch_, scored.size(), points, detail);
+    } else {
+      kernel.evaluate_trusted(batch_scratch_, scored.size(), points);
+    }
+  }
+
+  // Pass 2 — sequential replay: real lookups, counters and inserts in
+  // index order, so memo contents, recency and every counter match a
+  // sequential loop of `evaluate` calls exactly.
+  for (std::size_t i = 0; i < n; ++i) {
+    ++count_;
+    if (memoize) {
+      if (const double* cached = cache_lookup(mappings[i], hashes[i])) {
+        out[i] = *cached;
+        continue;
+      }
+      ++cache_misses_;
+    }
+    double fitness;
+    if (row_of[i] >= 0) {
+      const auto r = static_cast<std::size_t>(row_of[i]);
+      const std::span<const EdgeMetrics> view_edges =
+          needs_detail_ ? std::span<const EdgeMetrics>(
+                              detail.data() + r * edge_count, edge_count)
+                        : std::span<const EdgeMetrics>{};
+      fitness = problem_.objective().fitness(EvaluationView{
+          points[r].worst_loss_db, points[r].worst_snr_db, view_edges});
+    } else {
+      // Peek promised a hit (memo entry or earlier duplicate) that was
+      // evicted before this row's replay turn: one scalar evaluation,
+      // bit-identical to the kernel by contract.
+      fitness = problem_.objective().fitness(
+          run_evaluation(mappings[i], needs_detail_));
+    }
+    ++physical_count_;
+    if (memoize) {
+      const auto assignment = mappings[i].assignment();
+      cache_insert(std::vector<TileId>(assignment.begin(), assignment.end()),
+                   hashes[i], fitness, /*count_evictions=*/true);
+    }
+    out[i] = fitness;
+  }
+}
+
 }  // namespace phonoc

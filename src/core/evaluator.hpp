@@ -30,6 +30,7 @@
 
 #include "core/problem.hpp"
 #include "mapping/optimizer.hpp"
+#include "model/batch_eval.hpp"
 #include "model/incremental.hpp"
 
 namespace phonoc {
@@ -67,6 +68,19 @@ class Evaluator final : public FitnessFunction {
   /// Fitness (higher = better) of a mapping under the problem objective.
   [[nodiscard]] double evaluate(const Mapping& mapping) override;
 
+  /// Batched fitness through the SoA kernel (model/batch_eval.hpp):
+  /// physical scoring runs one vectorized pass over the whole batch,
+  /// while fitness values, logical/physical counts and the memo's
+  /// contents + recency order stay exactly what a sequential loop of
+  /// `evaluate` calls would produce. The memo is peeked (no mutation)
+  /// to decide which rows need physical scoring, the kernel scores
+  /// those in one pass, and a sequential replay then performs the real
+  /// lookups/inserts in index order; a row whose peek promised a hit
+  /// that was evicted before its replay turn falls back to one scalar
+  /// evaluation (bit-identical by the kernel's contract).
+  void evaluate_batch(std::span<const Mapping> mappings,
+                      std::span<double> out) override;
+
   [[nodiscard]] bool supports_moves() const override {
     return options_.incremental;
   }
@@ -86,6 +100,15 @@ class Evaluator final : public FitnessFunction {
   /// Runs with per-edge detail whenever the problem objective needs it,
   /// so `objective().fitness(evaluate_raw(m))` is always well-formed.
   [[nodiscard]] EvaluationResult evaluate_raw(const Mapping& mapping) const;
+
+  /// Batched `evaluate_raw` for consumers that only need the worst-case
+  /// pair (Sample cells): `out[i]` holds both Fig. 3 metrics of
+  /// `mappings[i]`, bitwise equal to the corresponding `evaluate_raw`
+  /// fields. Uncounted, like `evaluate_raw`. Validation is hoisted to
+  /// the `Mapping` invariant (its constructor enforces Eq. 5/6), so the
+  /// kernel skips the per-row injectivity scan.
+  void evaluate_raw_batch(std::span<const Mapping> mappings,
+                          std::span<BatchPoint> out) const;
 
   /// Logical evaluations: one per evaluate/propose_swap call.
   [[nodiscard]] std::uint64_t evaluation_count() const noexcept {
@@ -141,6 +164,11 @@ class Evaluator final : public FitnessFunction {
   /// Single evaluation backend shared by every public entry point.
   [[nodiscard]] EvaluationResult run_evaluation(const Mapping& mapping,
                                                 bool detailed) const;
+  /// Lazily built batched kernel (plan construction is O(tiles^2 x
+  /// hops), so it only happens once a batch entry point is used).
+  [[nodiscard]] BatchEvaluator& batch_kernel() const;
+  /// Flatten `mappings` row-major into `batch_scratch_`.
+  std::span<const TileId> flatten(std::span<const Mapping> mappings) const;
   /// True when the kernel's committed state equals `after` with the
   /// (a, b) swap undone — i.e. the kernel sits on the caller's pre-move
   /// mapping and can score the move incrementally.
@@ -184,6 +212,12 @@ class Evaluator final : public FitnessFunction {
   // --- incremental move path -------------------------------------------------
   std::unique_ptr<IncrementalEvaluation> kernel_;  ///< lazily constructed
   std::vector<TileId> base_scratch_;
+
+  // --- batched path ----------------------------------------------------------
+  /// Mutable: the batch kernel is pure scoring plus reusable scratch,
+  /// so the const `evaluate_raw_batch` may build and use it.
+  mutable std::unique_ptr<BatchEvaluator> batch_;
+  mutable std::vector<TileId> batch_scratch_;
 };
 
 }  // namespace phonoc

@@ -118,13 +118,41 @@ OptimizerResult GeneticAlgorithm::optimize(FitnessFunction& fitness,
     return state.evaluate(to_mapping(perm, task_count, tile_count));
   };
 
+  // Batch-score freshly generated individuals and append them to `dst`.
+  // Generation consumes RNG, evaluation does not, so generating a whole
+  // chunk up front and scoring it in one batched pass preserves the
+  // exact sequential trajectory; the chunk is capped by the remaining
+  // evaluation budget, matching the per-individual `exhausted()` check
+  // of a sequential loop.
+  std::vector<Mapping> chunk_mappings;
+  std::vector<double> chunk_fitness;
+  const auto score_chunk = [&](std::vector<Individual>& generated,
+                               std::vector<Individual>& dst) {
+    chunk_mappings.clear();
+    chunk_mappings.reserve(generated.size());
+    for (const auto& ind : generated)
+      chunk_mappings.push_back(to_mapping(ind.perm, task_count, tile_count));
+    chunk_fitness.resize(generated.size());
+    state.evaluate_batch(chunk_mappings, chunk_fitness);
+    for (std::size_t i = 0; i < generated.size(); ++i) {
+      generated[i].fitness = chunk_fitness[i];
+      dst.push_back(std::move(generated[i]));
+    }
+    generated.clear();
+  };
+
   // Initial population.
   std::vector<Individual> population;
   population.reserve(options_.population);
-  for (std::size_t i = 0; i < options_.population && !state.exhausted(); ++i) {
-    Individual ind{random_permutation(tile_count, rng), 0.0};
-    ind.fitness = eval_perm(ind.perm);
-    population.push_back(std::move(ind));
+  std::vector<Individual> generated;
+  while (population.size() < options_.population && !state.exhausted()) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(options_.population - population.size(),
+                                state.remaining_evaluations()));
+    generated.reserve(chunk);
+    for (std::size_t i = 0; i < chunk; ++i)
+      generated.push_back(Individual{random_permutation(tile_count, rng), 0.0});
+    score_chunk(generated, population);
   }
   if (population.empty()) {
     // Budget smaller than one population: fall back to a single sample.
@@ -155,28 +183,37 @@ OptimizerResult GeneticAlgorithm::optimize(FitnessFunction& fitness,
     for (std::size_t e = 0; e < options_.elites; ++e)
       next.push_back(population[e]);
 
+    // Selection and variation read only the current generation (whose
+    // fitness is known) and the RNG, never a sibling's score — so a
+    // whole chunk of children can be generated first and scored in one
+    // batched pass without changing any RNG draw or selection.
     while (next.size() < options_.population && !state.exhausted()) {
-      const auto& parent_a = tournament_pick();
-      const auto& parent_b = tournament_pick();
-      std::vector<TileId> child_perm;
-      if (rng.next_bool(options_.crossover_rate)) {
-        auto lo = static_cast<std::size_t>(rng.next_below(tile_count));
-        auto hi = static_cast<std::size_t>(rng.next_below(tile_count));
-        if (lo > hi) std::swap(lo, hi);
-        child_perm = options_.crossover == GeneticOptions::Crossover::Pmx
-                         ? pmx_crossover(parent_a.perm, parent_b.perm, lo, hi)
-                         : ox_crossover(parent_a.perm, parent_b.perm, lo, hi);
-      } else {
-        child_perm = parent_a.perm;
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(options_.population - next.size(),
+                                  state.remaining_evaluations()));
+      generated.reserve(chunk);
+      for (std::size_t c = 0; c < chunk; ++c) {
+        const auto& parent_a = tournament_pick();
+        const auto& parent_b = tournament_pick();
+        std::vector<TileId> child_perm;
+        if (rng.next_bool(options_.crossover_rate)) {
+          auto lo = static_cast<std::size_t>(rng.next_below(tile_count));
+          auto hi = static_cast<std::size_t>(rng.next_below(tile_count));
+          if (lo > hi) std::swap(lo, hi);
+          child_perm = options_.crossover == GeneticOptions::Crossover::Pmx
+                           ? pmx_crossover(parent_a.perm, parent_b.perm, lo, hi)
+                           : ox_crossover(parent_a.perm, parent_b.perm, lo, hi);
+        } else {
+          child_perm = parent_a.perm;
+        }
+        while (rng.next_bool(options_.mutation_rate)) {
+          const auto i = rng.next_below(tile_count);
+          const auto j = rng.next_below(tile_count);
+          std::swap(child_perm[i], child_perm[j]);
+        }
+        generated.push_back(Individual{std::move(child_perm), 0.0});
       }
-      while (rng.next_bool(options_.mutation_rate)) {
-        const auto i = rng.next_below(tile_count);
-        const auto j = rng.next_below(tile_count);
-        std::swap(child_perm[i], child_perm[j]);
-      }
-      Individual child{std::move(child_perm), 0.0};
-      child.fitness = eval_perm(child.perm);
-      next.push_back(std::move(child));
+      score_chunk(generated, next);
     }
     if (!next.empty()) population = std::move(next);
   }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,17 @@ class FitnessFunction {
  public:
   virtual ~FitnessFunction() = default;
   [[nodiscard]] virtual double evaluate(const Mapping& mapping) = 0;
+
+  /// Score a batch: `out[i]` = fitness of `mappings[i]`, semantically
+  /// identical to calling `evaluate` in index order — same values, same
+  /// logical counting, same memo trajectory. Implementations may
+  /// override to amortize the physical work (core::Evaluator routes the
+  /// batch through the SoA kernel); the default simply loops.
+  virtual void evaluate_batch(std::span<const Mapping> mappings,
+                              std::span<double> out) {
+    for (std::size_t i = 0; i < mappings.size(); ++i)
+      out[i] = evaluate(mappings[i]);
+  }
 
   /// True when propose/commit/revert are served by an incremental path.
   [[nodiscard]] virtual bool supports_moves() const { return false; }
@@ -103,6 +115,19 @@ class SearchState {
 
   /// Evaluate a candidate, tracking the incumbent and the trace.
   double evaluate(const Mapping& mapping);
+
+  /// Batched `evaluate`: scores every candidate through the fitness
+  /// function's batch entry, then records each result in index order —
+  /// incumbent, trace and evaluation counts are identical to calling
+  /// `evaluate` per mapping. Callers size batches with
+  /// `remaining_evaluations()` so the evaluation budget is never
+  /// overshot.
+  void evaluate_batch(std::span<const Mapping> mappings,
+                      std::span<double> out);
+
+  /// Evaluations left under the budget's evaluation cap;
+  /// UINT64_MAX when the budget is time-only.
+  [[nodiscard]] std::uint64_t remaining_evaluations() const noexcept;
 
   /// Move-based search steps. `propose_swap` applies the (a, b) tile
   /// swap to `current`, scores it through the fitness function's move

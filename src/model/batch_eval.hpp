@@ -1,0 +1,172 @@
+#pragma once
+/// \file batch_eval.hpp
+/// \brief SoA batched mapping evaluation: score B assignments per pass,
+/// bit-identical (tolerance 0) to per-mapping `evaluate_mapping`.
+///
+/// `evaluate_mapping` is an arrays-of-structs walk: every CG edge
+/// resolves a `PathData` whose per-hop state lives in five separate
+/// heap vectors, every (victim, attacker) pair calls the out-of-line
+/// `noise_contribution`, and every hop probes `hop_at_tile` and the
+/// router's conflict + crosstalk tables behind two more indirections.
+/// Bulk consumers — Sample cells evaluate 100k random mappings per
+/// cell, GA generations score whole populations — pay that layout tax
+/// per mapping.
+///
+/// This kernel splits the work into a per-{NetworkModel, CommGraph}
+/// precompute (`BatchEvalPlan`) and a per-batch pass (`BatchEvaluator`):
+///
+///  * the plan flattens every path's per-hop {tile, connection,
+///    arrive_gain, exit_suffix} into one contiguous SoA arena, mirrors
+///    `hop_at_tile` as one dense contiguous int16 table (the victim-side
+///    probe), bakes the router's conflict policy + fidelity into one
+///    dense connection-pair gain table, and derives a tile-occupancy
+///    bitmask per path;
+///  * the pass resolves each mapping's edges to path ids once, then for
+///    each victim edge runs a vectorized bitmask sieve over all
+///    attacker masks — path pairs sharing no tile contribute exactly
+///    +0.0 and are skipped wholesale — and walks only the surviving
+///    attackers' flat hop arrays, branch-free on the gain lookups.
+///
+/// Bit-identity contract (the regression oracle): every metric equals a
+/// fresh `evaluate_mapping` of the same assignment bitwise. The same
+/// three properties as `incremental.hpp` carry the argument:
+///  1. each per-hop term `arrive * k * exit` is evaluated with the same
+///     operand values and association as `noise_contribution`;
+///  2. contributions are never negative and adding an exact +0.0 is the
+///     identity on a non-negative accumulator, so both skipping
+///     zero-mask pairs and multiplying through a baked-in zero gain
+///     reproduce the full ascending-order sums bitwise (per-attacker
+///     subtotals are kept: each attacker's hop-order sum is folded into
+///     the victim's noise in ascending edge order, exactly like the
+///     nested `noise_contribution` calls);
+///  3. the worst-case folds are the same `std::min` selections in the
+///     same ascending edge order.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+#include "model/evaluation.hpp"
+#include "model/network_model.hpp"
+
+namespace phonoc {
+
+/// Worst-case metrics of one scored mapping (the Fig. 3 pair).
+struct BatchPoint {
+  double worst_loss_db = 0.0;
+  double worst_snr_db = 0.0;
+};
+
+/// Immutable SoA mirror of the evaluation state for one
+/// {NetworkModel, CommGraph} pair. Build once, share freely: the plan
+/// is read-only after construction, so any number of BatchEvaluators
+/// (one per thread) can score against it concurrently. The network and
+/// CG must outlive the plan.
+class BatchEvalPlan {
+ public:
+  BatchEvalPlan(const NetworkModel& net, const CommGraph& cg);
+
+  [[nodiscard]] std::size_t tile_count() const noexcept { return tiles_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edge_src_.size();
+  }
+  [[nodiscard]] double snr_ceiling_db() const noexcept { return ceiling_db_; }
+
+ private:
+  friend class BatchEvaluator;
+
+  /// Row index of the (src, dst) path in the per-path tables.
+  [[nodiscard]] std::size_t path_id(TileId src, TileId dst) const noexcept {
+    return static_cast<std::size_t>(src) * tiles_ + dst;
+  }
+
+  std::size_t tiles_ = 0;
+  std::size_t tasks_ = 0;
+  double ceiling_db_ = 0.0;
+  std::size_t conns_ = 0;       ///< router connection count (G row stride)
+  std::size_t mask_words_ = 0;  ///< uint64 words per tile-occupancy mask
+
+  // --- per CG edge -----------------------------------------------------------
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+
+  // --- per ordered tile pair (path id = src * tiles + dst) -------------------
+  std::vector<std::uint32_t> hop_begin_;  ///< offset into the flat hop arena
+  std::vector<std::uint32_t> hop_end_;
+  std::vector<double> total_gain_;
+  std::vector<double> total_loss_db_;
+  /// Tile-occupancy bitmask, `mask_words_` words per path.
+  std::vector<std::uint64_t> tile_mask_;
+  /// Dense victim-side probe, `tiles_` int16 entries per path: the
+  /// path's hop index at each tile, or -1 (PathData::hop_at_tile laid
+  /// out contiguously, so a victim's whole row sits in one or two
+  /// cache lines).
+  std::vector<std::int16_t> victim_hop_;
+
+  // --- flat per-hop arena (all paths back to back) ---------------------------
+  std::vector<std::uint32_t> hop_tile_;
+  std::vector<std::uint32_t> hop_conn_;
+  std::vector<double> hop_arrive_;
+  std::vector<double> hop_exit_;
+
+  /// Dense pair gain, conns_ x conns_: `pair_noise_gain` with the
+  /// conflict policy and fidelity baked in (conflicting or non-positive
+  /// pairs hold exactly 0.0, so the kernel needs no branch on them).
+  std::vector<double> pair_gain_;
+};
+
+/// Batched scorer over a shared plan. Owns reusable per-batch scratch,
+/// so one instance serves one thread; create one per worker (exactly
+/// how cells already own their Evaluator).
+class BatchEvaluator {
+ public:
+  /// Convenience: build (and own) a fresh plan.
+  BatchEvaluator(const NetworkModel& net, const CommGraph& cg);
+  /// Share an existing plan (must be non-null).
+  explicit BatchEvaluator(std::shared_ptr<const BatchEvalPlan> plan);
+
+  [[nodiscard]] const BatchEvalPlan& plan() const noexcept { return *plan_; }
+
+  /// Score `batch` assignments laid out row-major in `assignments`
+  /// (`batch * task_count` tiles). Every assignment is validated
+  /// exactly like `evaluate_mapping` (injective, every tile in range).
+  /// `out.size()` must equal `batch`.
+  void evaluate(std::span<const TileId> assignments, std::size_t batch,
+                std::span<BatchPoint> out);
+
+  /// Same, plus per-edge detail: `edges_out` receives `batch *
+  /// edge_count` EdgeMetrics rows (mapping-major), each bit-identical
+  /// to `evaluate_mapping(..., detailed=true)`.
+  void evaluate_detailed(std::span<const TileId> assignments,
+                         std::size_t batch, std::span<BatchPoint> out,
+                         std::span<EdgeMetrics> edges_out);
+
+  /// Trusted entry: skips the per-assignment injectivity/range scan.
+  /// Only for assignments whose validity is already guaranteed by a
+  /// checked invariant (e.g. they were lifted out of `Mapping`, whose
+  /// constructor enforces Eq. 5/6) — this is the validation hoist for
+  /// bulk scoring, not a way to relax the public contract. Pass an
+  /// empty `edges_out` to skip detail.
+  void evaluate_trusted(std::span<const TileId> assignments,
+                        std::size_t batch, std::span<BatchPoint> out,
+                        std::span<EdgeMetrics> edges_out = {});
+
+ private:
+  void run(std::span<const TileId> assignments, std::size_t batch,
+           std::span<BatchPoint> out, std::span<EdgeMetrics> edges_out,
+           bool validate);
+  void validate_assignment(std::span<const TileId> assignment);
+
+  std::shared_ptr<const BatchEvalPlan> plan_;
+
+  // --- per-batch scratch (reused across calls) -------------------------------
+  std::vector<std::uint32_t> path_of_edge_;  ///< per edge
+  std::vector<std::uint64_t> edge_mask_;     ///< per edge, mask_words_ each
+  std::vector<std::uint64_t> sieve_;         ///< per edge, intersection words
+  std::vector<std::uint8_t> tile_used_;      ///< validation scratch
+};
+
+}  // namespace phonoc
