@@ -15,18 +15,28 @@
 /// overhead, bit-identity across the process boundary),
 /// --remote=N adds a distributed-scheduler pass over N loopback workers
 /// (framing + scheduling overhead, bit-identity through src/sched/),
+/// --workerd-threads=A,B,... adds one remote pass per value: a single
+/// loopback worker whose internal exec pool is pinned to that width
+/// (the worker-side scaling axis of serve_connection; bit-identity is
+/// re-checked at every width since frames leave in settle order),
 /// --csv=FILE dump the aggregated report,
 /// --json=FILE dump the headline numbers as a snapshot for the in-repo
 /// perf trajectory (bench/BENCH_parallel_sweep.json; regenerate with
 /// bench/update_snapshots.sh).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "exec/aggregate.hpp"
 #include "exec/batch_engine.hpp"
 #include "exec/fork_exec.hpp"
 #include "exec/sweep.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/service.hpp"
+#include "sched/transport.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -135,6 +145,49 @@ int main(int argc, char** argv) {
     mismatches += remote_mismatches;
   }
 
+  // Optional worker-side scaling axis: one loopback worker per pass,
+  // its internal exec pool pinned to each requested width. Cells leave
+  // in settle order at every width, so this doubles as a determinism
+  // stress of the scheduler's index-matching dedup.
+  struct WorkerdPoint {
+    std::size_t threads = 0;
+    double seconds = 0.0;
+  };
+  std::vector<WorkerdPoint> workerd_axis;
+  for (const auto& field : split(cli.get_or("workerd-threads", ""), ',')) {
+    const auto text = trim(field);
+    if (text.empty()) continue;
+    const auto threads =
+        static_cast<std::size_t>(std::max<long>(parse_long(text), 1));
+    const auto transport =
+        std::make_shared<LoopbackTransport>([threads](Connection& conn) {
+          ServiceOptions service;
+          service.exec_threads = threads;
+          service.advertised_capacity = threads;
+          return serve_connection(conn, service);
+        });
+    SchedulerOptions sched;
+    sched.hosts = {"loopback"};
+    sched.transport = transport;
+    sched.cells_per_shard = std::max<std::size_t>(16, 2 * threads);
+    timer.restart();
+    const auto outcome = Scheduler(std::move(sched)).run(spec);
+    const double seconds = timer.elapsed_seconds();
+    std::size_t pool_mismatches = 0;
+    for (std::size_t i = 0; i < sequential_results.size(); ++i)
+      if (outcome.results[i].status != CellStatus::Ok ||
+          !identical(sequential_results[i], outcome.results[i]))
+        ++pool_mismatches;
+    std::cout << "# workerd pool (" << threads
+              << " exec thread(s)): " << format_fixed(seconds, 2) << " s, "
+              << pool_mismatches << " mismatched cells"
+              << (pool_mismatches == 0 ? " (bit-identical at this width)"
+                                       : " (BUG)")
+              << '\n';
+    mismatches += pool_mismatches;
+    workerd_axis.push_back({threads, seconds});
+  }
+
   const auto report = SweepReport::build(spec, parallel_results,
                                          parallel_seconds);
   std::cout << report.to_ascii() << '\n';
@@ -183,8 +236,22 @@ int main(int argc, char** argv) {
         << "  \"speedup\": " << format_fixed(speedup, 3) << ",\n"
         << "  \"parallel_cells_per_second\": "
         << format_fixed(cells_per_second, 2) << ",\n"
-        << "  \"mismatched_cells\": " << mismatches << "\n"
-        << "}\n";
+        << "  \"mismatched_cells\": " << mismatches;
+    if (!workerd_axis.empty()) {
+      out << ",\n  \"workerd_threads_axis\": [";
+      for (std::size_t i = 0; i < workerd_axis.size(); ++i) {
+        const auto& point = workerd_axis[i];
+        const double rate = point.seconds > 0.0
+                                ? sequential_results.size() / point.seconds
+                                : 0.0;
+        out << (i == 0 ? "\n" : ",\n")
+            << "    {\"threads\": " << point.threads
+            << ", \"seconds\": " << format_fixed(point.seconds, 4)
+            << ", \"cells_per_second\": " << format_fixed(rate, 2) << "}";
+      }
+      out << "\n  ]";
+    }
+    out << "\n}\n";
     std::cout << "# snapshot written to " << *json_path << '\n';
   }
   return mismatches == 0 ? 0 : 1;

@@ -34,8 +34,11 @@ fi
 
 # A budget small enough to finish in seconds but large enough that the
 # pool actually spreads load (the full 128-cell Table II-style grid at
-# 800 evaluations per cell).
+# 800 evaluations per cell). --workerd-threads sweeps the worker-side
+# exec-pool width through the remote scheduler — the serve_connection
+# internal-pool scaling axis, bit-identity re-checked at every width.
 PHONOC_SWEEP_EVALS=800 "$build/bench_parallel_sweep" \
+  --workerd-threads=1,2,4 \
   --json=bench/BENCH_parallel_sweep.json >/dev/null
 
 echo "snapshots updated:"

@@ -9,8 +9,10 @@
 ///
 ///     parallel_sweep [--evals=N] [--workers=N] [--seeds=N] [--csv=FILE]
 ///                    [--backend=thread|fork|remote] [--worker=PATH]
-///                    [--hosts=EP1,EP2,...] [--pin] [--verify]
-///                    [--expect-failed=N]
+///                    [--hosts=EP1,EP2,...] [--cells-per-shard=N]
+///                    [--journal=FILE] [--admit-port=N] [--pin]
+///                    [--verify] [--expect-failed=N]
+///                    [--expect-admitted=N] [--expect-journaled-min=N]
 ///
 /// `--backend=fork` runs the grid on crash-isolated `phonoc_worker`
 /// processes (one per slice; a dying worker fails only the cell it died
@@ -22,7 +24,21 @@
 /// lists them, either `host:port` TCP `phonoc_workerd` daemons or
 /// `loopback` for in-process served connections (the default fleet is
 /// two loopback workers). Dead hosts fail over and stragglers are
-/// retried; results stay bit-identical to the in-process backend.
+/// retried; results stay bit-identical to the in-process backend. The
+/// summary prints each host's ledger activity (steals, retries,
+/// speculations, late admission).
+///
+/// `--journal=FILE` (remote only) logs every settled cell to an
+/// append-only checksummed journal; re-running the same sweep with the
+/// same journal replays the settled cells and only executes the rest —
+/// a scheduler killed mid-sweep resumes instead of restarting. CI
+/// `kill -9`s a sweep and asserts the resumed report with `--verify
+/// --expect-failed=0 --expect-journaled-min=1`.
+///
+/// `--admit-port=N` (remote only) opens the dynamic-admission port:
+/// `phonoc_workerd --join=host:N` daemons enter the sweep mid-flight
+/// and absorb queued, stolen or speculated work. `--expect-admitted=N`
+/// asserts how many actually joined.
 ///
 /// `--pin` caps in-flight cells at the hardware thread count
 /// (`BatchOptions::pin_one_cell_per_thread`) so `max_seconds` budgets
@@ -44,11 +60,14 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <utility>
 
 #include "exec/aggregate.hpp"
 #include "exec/batch_engine.hpp"
 #include "exec/fork_exec.hpp"
 #include "exec/sweep.hpp"
+#include "sched/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -131,11 +150,52 @@ int main(int argc, char** argv) {
               << " worker(s)...\n";
 
   Timer timer;
-  const auto results = engine.run(spec);
+  // The remote path drives the Scheduler directly (not through
+  // BatchEngine) so the fleet outcome — per-host ledger counters,
+  // journal replay count, admitted joiners — is visible to the summary
+  // and the --expect-* assertions. The cell results are the same either
+  // way; run_remote() is this minus the introspection.
+  std::optional<ScheduleResult> fleet;
+  std::vector<CellResult> results;
+  if (backend_name == "remote") {
+    SchedulerOptions sched;
+    sched.hosts = options.remote_hosts;
+    sched.evaluator = options.evaluator;
+    if (const auto shard_cells = cli.get_int("cells-per-shard", 0);
+        shard_cells > 0)
+      sched.cells_per_shard = static_cast<std::size_t>(shard_cells);
+    sched.journal_path = cli.get_or("journal", "");
+    sched.admit_port = cli.get_int("admit-port", -1);
+    try {
+      fleet = Scheduler(std::move(sched)).run(spec);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    results = fleet->results;
+  } else {
+    results = engine.run(spec);
+  }
   const auto report = SweepReport::build(spec, results,
                                          timer.elapsed_seconds());
 
   std::cout << '\n' << report.to_ascii() << '\n';
+  if (fleet) {
+    std::cout << "Fleet of " << fleet->hosts.size() << " host(s):\n";
+    for (const auto& host : fleet->hosts)
+      std::cout << "  '" << host.endpoint << "'"
+                << (host.admitted_late ? " [admitted late]" : "")
+                << (host.connected ? (host.died ? " [died]" : "")
+                                   : " [unreachable]")
+                << ": " << host.shards << " shard(s), " << host.cells_ok
+                << " ok, " << host.cells_failed << " failed, "
+                << host.duplicates << " duplicate(s), " << host.steals
+                << " stolen, " << host.retries << " retried, "
+                << host.speculations << " speculated\n";
+    if (fleet->journaled > 0)
+      std::cout << "  journal replay settled " << fleet->journaled
+                << " cell(s) from a previous run\n";
+  }
   std::cout << "Ran " << report.run_count << " runs in "
             << format_fixed(report.wall_seconds, 1) << " s wall ("
             << format_fixed(report.cpu_seconds, 1)
@@ -196,6 +256,35 @@ int main(int argc, char** argv) {
     }
     std::cout << "Crash-isolation check passed: " << report.failed_count
               << " failed, " << report.run_count << " completed.\n";
+  }
+
+  if (cli.has("expect-admitted")) {
+    const auto expected =
+        static_cast<std::size_t>(cli.get_int("expect-admitted", 0));
+    std::size_t admitted = 0;
+    if (fleet)
+      for (const auto& host : fleet->hosts)
+        if (host.admitted_late) ++admitted;
+    if (admitted != expected) {
+      std::cerr << "error: expected " << expected
+                << " late-admitted host(s), got " << admitted << '\n';
+      return 1;
+    }
+    std::cout << "Admission check passed: " << admitted
+              << " host(s) joined mid-sweep.\n";
+  }
+
+  if (cli.has("expect-journaled-min")) {
+    const auto floor =
+        static_cast<std::size_t>(cli.get_int("expect-journaled-min", 1));
+    const std::size_t journaled = fleet ? fleet->journaled : 0;
+    if (journaled < floor) {
+      std::cerr << "error: expected at least " << floor
+                << " journal-replayed cell(s), got " << journaled << '\n';
+      return 1;
+    }
+    std::cout << "Resume check passed: " << journaled
+              << " cell(s) replayed from the journal.\n";
   }
   return 0;
 }

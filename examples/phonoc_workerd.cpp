@@ -5,16 +5,27 @@
 /// Listens on a TCP port and serves scheduler connections one at a
 /// time: framed handshake, then SweepShard frames in / CellResult
 /// frames out (the exec/serialize wire format wrapped in
-/// length+checksum frames — see src/sched/README.md). Start one daemon
-/// per core per machine and point the scheduler at the fleet:
+/// length+checksum frames — see src/sched/README.md). Each shard's
+/// cells run on an internal exec thread pool sized by the advertised
+/// capacity (`--threads` pins both). Start one daemon per machine and
+/// point the scheduler at the fleet:
 ///
-///     phonoc_workerd --port=7401 &
-///     phonoc_workerd --port=7402 &
+///     phonoc_workerd --port=7401 --threads=8 &
+///     phonoc_workerd --port=7402 --threads=8 &
 ///     parallel_sweep --backend=remote --hosts=host:7401,host:7402
+///
+/// A daemon can also enter a sweep already in flight: `--join` dials a
+/// scheduler's admission port (`parallel_sweep --admit-port=N`) instead
+/// of listening, serves that one connection, and exits.
 ///
 /// Flags:
 ///   --port=N              listening port (0 picks an ephemeral port;
 ///                         the chosen port is printed either way)
+///   --threads=N           internal exec pool width; also advertised as
+///                         this worker's capacity in the handshake
+///                         (0 = the hardware thread count)
+///   --join=HOST:PORT      dial a scheduler's admission port, serve the
+///                         sweep in flight, exit (ignores --port/--once)
 ///   --once                exit after serving one connection
 ///   --max-conns=N         exit after serving N connections
 ///   --crash-after-cells=N CI/test hook: abort() after emitting N cell
@@ -38,6 +49,34 @@ int main(int argc, char** argv) {
                              : cli.get_int("max-conns", 0);  // 0 = forever
   ServiceOptions service;
   service.crash_after_cells = cli.get_int("crash-after-cells", -1);
+  const auto threads = cli.get_int("threads", 0);
+  if (threads > 0) {
+    service.exec_threads = static_cast<std::size_t>(threads);
+    service.advertised_capacity = static_cast<std::size_t>(threads);
+  }
+
+  const std::string join = cli.get_or("join", "");
+  if (!join.empty()) {
+    // Late admission: the scheduler is the listener here. Dial it,
+    // serve the one connection (serve_connection starts by receiving
+    // the hello — the scheduler speaks first on admitted connections,
+    // same as on dialed ones), and exit.
+    try {
+      TcpTransport transport;
+      auto conn = transport.connect(join);
+      std::cout << "phonoc_workerd: joined scheduler at " << join
+                << std::endl;
+      const auto cells = serve_connection(*conn, service);
+      conn->close();
+      std::cout << "phonoc_workerd: sweep connection done, " << cells
+                << " cell(s) served" << std::endl;
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "phonoc_workerd: cannot join " << join << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+  }
 
   TcpListener listener(port);
   std::cout << "phonoc_workerd: listening on 127.0.0.1:" << listener.port()

@@ -72,6 +72,15 @@ struct BatchOptions {
   /// served by an in-process thread over a socketpair (tests and
   /// single-host use). Must be non-empty for BatchBackend::Remote.
   std::vector<std::string> remote_hosts;
+  /// Remote only: settled-cell journal path (see sched/journal.hpp).
+  /// Accepted answers are logged, and an existing journal for the same
+  /// spec is replayed so a killed scheduler resumes instead of
+  /// restarting. Empty disables.
+  std::string journal_path;
+  /// Remote only: cells per dispatched shard; 0 keeps the scheduler
+  /// default. Larger shards amortize worker-side problem construction,
+  /// smaller ones spread load and shrink the retry blast radius.
+  std::size_t cells_per_shard = 0;
   /// Cap the resolved worker count at the hardware thread count so at
   /// most one cell is in flight per hardware thread. With `max_seconds`
   /// budgets an oversubscribed pool distorts the paper's equal-time

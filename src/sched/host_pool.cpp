@@ -16,6 +16,7 @@ HostPool::HostPool(std::vector<std::size_t> capacities, std::size_t cells,
                    double speculate_after_seconds, bool allow_steal)
     : queues_(capacities.size()),
       in_flight_(capacities.size()),
+      counters_(capacities.size()),
       settled_(cells, 0),
       max_attempts_(std::max<std::size_t>(max_attempts, 1)),
       speculate_after_seconds_(speculate_after_seconds),
@@ -107,7 +108,10 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
   while (!retry_.empty()) {
     WorkUnit unit = retry_.front();
     retry_.pop_front();
-    if (auto dispatched = dispatch(unit)) return dispatched;
+    if (auto dispatched = dispatch(unit)) {
+      ++counters_[host].retried_units;
+      return dispatched;
+    }
   }
   // 3. Steal from the richest queue (from the back: the thief takes the
   // work its owner would reach last).
@@ -122,7 +126,10 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
     while (depth > 0 && !queues_[richest].empty()) {
       WorkUnit unit = queues_[richest].back();
       queues_[richest].pop_back();
-      if (auto dispatched = dispatch(unit)) return dispatched;
+      if (auto dispatched = dispatch(unit)) {
+        ++counters_[host].stolen_units;
+        return dispatched;
+      }
     }
   }
   // 4. Straggler speculation: clone a long-in-flight unit of another
@@ -139,11 +146,21 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
       if (clone.begin >= clone.end) continue;
       flight.cloned = true;
       ++stats_.speculations;
+      ++counters_[host].speculated_units;
       in_flight_[host] = InFlight{clone, now, false};
       return clone;
     }
   }
   return std::nullopt;
+}
+
+std::size_t HostPool::add_host() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  queues_.emplace_back();
+  in_flight_.emplace_back();
+  counters_.emplace_back();
+  work_cv_.notify_all();
+  return queues_.size() - 1;
 }
 
 std::optional<WorkUnit> HostPool::acquire(std::size_t host) {
@@ -223,6 +240,12 @@ std::vector<std::size_t> HostPool::unsettled_cells() const {
 HostPoolStats HostPool::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+HostCounters HostPool::host_counters(std::size_t host) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  require(host < counters_.size(), "HostPool: host index out of range");
+  return counters_[host];
 }
 
 }  // namespace phonoc

@@ -49,6 +49,15 @@ struct HostPoolStats {
   std::size_t duplicates = 0;    ///< late answers dropped by dedup
 };
 
+/// What one host pulled through acquire()'s non-own-queue paths —
+/// the per-host view of the fleet's load-balancing activity, surfaced
+/// in HostReport (and the remote sweep summary).
+struct HostCounters {
+  std::size_t stolen_units = 0;     ///< taken from another host's queue
+  std::size_t retried_units = 0;    ///< picked up off the retry queue
+  std::size_t speculated_units = 0; ///< straggler clones this host ran
+};
+
 class HostPool {
  public:
   /// Capacity-weighted deal: host `h` initially owns a contiguous
@@ -71,6 +80,13 @@ class HostPool {
   HostPool(std::size_t hosts, std::size_t cells, std::size_t cells_per_unit,
            std::size_t max_attempts, double speculate_after_seconds,
            bool allow_steal = true);
+
+  /// Admit a host after construction (a late `--join` daemon): appends
+  /// an empty queue — the newcomer reaches work through the retry
+  /// queue, stealing and speculation, exactly like a capacity-0 host
+  /// from the initial deal — and returns its host index. Wakes blocked
+  /// acquirers so nobody waits on a fleet that just grew.
+  [[nodiscard]] std::size_t add_host();
 
   /// Block until a unit is available for `host` or every cell is
   /// settled (nullopt — the driver is done). Marks the unit in flight.
@@ -98,6 +114,8 @@ class HostPool {
   /// driver has exited; the scheduler fails them as unroutable).
   [[nodiscard]] std::vector<std::size_t> unsettled_cells() const;
   [[nodiscard]] HostPoolStats stats() const;
+  /// Per-host acquire-path counters (valid host index required).
+  [[nodiscard]] HostCounters host_counters(std::size_t host) const;
 
  private:
   struct InFlight {
@@ -116,6 +134,7 @@ class HostPool {
   std::vector<std::deque<WorkUnit>> queues_;      // per-host
   std::deque<WorkUnit> retry_;                    // bounced units
   std::vector<std::optional<InFlight>> in_flight_;  // one per host
+  std::vector<HostCounters> counters_;            // one per host
   std::vector<char> settled_;                     // per-cell
   std::size_t settled_count_ = 0;
   std::size_t max_attempts_;

@@ -1,12 +1,17 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <tuple>
 #include <utility>
 
 #include "exec/serialize.hpp"
+#include "sched/journal.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -33,6 +38,10 @@ struct DriverContext {
   HostPool& pool;
   std::vector<CellResult>& results;
   std::vector<int>& cell_host;
+  /// Settled-cell journal, null when journaling is off. Appends happen
+  /// only for *accepted* answers (post-dedup), so replaying the journal
+  /// reproduces exactly the first-wins outcome.
+  JournalWriter* journal = nullptr;
 };
 
 void mark_cell_failed(DriverContext& ctx, std::size_t index,
@@ -144,11 +153,16 @@ UnitOutcome receive_unit(DriverContext& ctx, std::size_t host,
     }
     ++received;
     if (!ctx.pool.complete_cell(result.cell.index)) {
-      // A retried straggler answered after its clone: drop, don't
-      // double-count.
+      // A retried straggler answered after its clone (or the cell came
+      // back from the journal): drop, don't double-count.
       ++report.duplicates;
       continue;
     }
+    // Journal the accepted frame verbatim — no re-serialization, so a
+    // replayed cell is bit-identical to the live one by construction.
+    // An append failure throws out to the driver's catch: the host is
+    // reported lost and its work abandoned, never silently un-journaled.
+    if (ctx.journal) ctx.journal->append(frame.payload);
     if (result.status == CellStatus::Ok) {
       ++report.cells_ok;
       // Ok cells only, matching SweepReport::build's cpu_seconds rule,
@@ -160,6 +174,38 @@ UnitOutcome receive_unit(DriverContext& ctx, std::size_t host,
     ctx.cell_host[result.cell.index] = static_cast<int>(host);
     ctx.results[result.cell.index] = std::move(result);
   }
+}
+
+/// Run the version handshake on an already-open connection (a dialed
+/// fleet host or an admitted joiner — the scheduler speaks first on
+/// both), filling `report.connected` / `report.capacity` / the failure
+/// diagnostics. Does not close the connection; the caller decides what
+/// a failed peer costs.
+bool handshake(const SchedulerOptions& options, Connection& conn,
+               HostReport& report) {
+  if (!conn.send(kSchedHello)) {
+    report.error = "connection closed before the handshake";
+    return false;
+  }
+  Connection::RecvResult hello;
+  try {
+    hello = conn.recv(options.handshake_timeout_seconds);
+  } catch (const std::exception& e) {
+    hello = {Connection::RecvStatus::Closed, {}};
+    report.error = e.what();
+  }
+  if (hello.status != Connection::RecvStatus::Ok ||
+      !parse_hello_reply(hello.payload, report.capacity)) {
+    report.error =
+        hello.status == Connection::RecvStatus::Ok
+            ? "handshake mismatch: got '" + hello.payload + "'"
+            : "no handshake within " +
+                  format_fixed(options.handshake_timeout_seconds, 1) +
+                  " s" + (report.error.empty() ? "" : ": " + report.error);
+    return false;
+  }
+  report.connected = true;
+  return true;
 }
 
 /// Phase 1 of a sweep: dial one host and run the version handshake,
@@ -179,35 +225,13 @@ std::unique_ptr<Connection> connect_and_handshake(
                   << "' unreachable: " << report.error;
     return nullptr;
   }
-
-  const auto die = [&](const std::string& reason) {
+  if (!handshake(options, *conn, report)) {
     report.died = true;
-    report.error = reason;
     conn->close();
     log_warning() << "sched: host '" << report.endpoint
-                  << "' lost: " << reason;
-  };
-
-  if (!conn->send(kSchedHello)) {
-    die("connection closed before the handshake");
+                  << "' lost: " << report.error;
     return nullptr;
   }
-  Connection::RecvResult hello;
-  try {
-    hello = conn->recv(options.handshake_timeout_seconds);
-  } catch (const std::exception& e) {
-    hello = {Connection::RecvStatus::Closed, {}};
-    report.error = e.what();
-  }
-  if (hello.status != Connection::RecvStatus::Ok ||
-      !parse_hello_reply(hello.payload, report.capacity)) {
-    die(hello.status == Connection::RecvStatus::Ok
-            ? "handshake mismatch: got '" + hello.payload + "'"
-            : "no handshake within " +
-                  format_fixed(options.handshake_timeout_seconds, 1) + " s");
-    return nullptr;
-  }
-  report.connected = true;
   return conn;
 }
 
@@ -259,41 +283,69 @@ Scheduler::Scheduler(SchedulerOptions options) : options_(std::move(options)) {
 ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   Timer wall;
   ScheduleResult outcome;
-  outcome.hosts.resize(options_.hosts.size());
-  for (std::size_t h = 0; h < options_.hosts.size(); ++h)
-    outcome.hosts[h].endpoint = options_.hosts[h];
 
   const auto cells = expand(spec);
   outcome.results.resize(cells.size());
-  outcome.cell_host.assign(cells.size(), -1);
-  if (cells.empty()) return outcome;
+  outcome.cell_host.assign(cells.size(), kCellHostUnanswered);
+
+  // One slot per host, configured fleet first, late-admitted joiners
+  // appended; a std::deque keeps every reference stable while the
+  // admission thread grows it mid-sweep.
+  struct HostSlot {
+    HostReport report;
+    std::unique_ptr<Connection> conn;
+    Timer clock;
+    std::thread driver;
+    bool driver_started = false;
+    bool joined = false;
+  };
+  std::deque<HostSlot> slots;
+  std::mutex slots_mutex;
+  const std::size_t host_count = options_.hosts.size();
+  for (std::size_t h = 0; h < host_count; ++h) {
+    slots.emplace_back();
+    slots[h].report.endpoint = options_.hosts[h];
+  }
+  if (cells.empty()) {
+    for (const auto& slot : slots) outcome.hosts.push_back(slot.report);
+    return outcome;
+  }
 
   auto transport = options_.transport ? options_.transport : make_transport();
   // The spec (with its embedded workloads) dwarfs the two slice lines;
   // serialize it once instead of once per dispatched unit.
   const std::string prefix = shard_prefix(spec, options_.evaluator);
 
+  // Settled-cell journal: replay an existing log *before* any work is
+  // dealt (replay errors throw — never silent partial reuse), then open
+  // the writer the drivers append accepted answers to.
+  std::unique_ptr<JournalWriter> journal;
+  JournalReplay replayed;
+  if (!options_.journal_path.empty()) {
+    const std::uint64_t spec_hash = fnv1a64(prefix);
+    replayed = replay_journal(options_.journal_path, spec_hash, cells.size());
+    journal = std::make_unique<JournalWriter>(options_.journal_path,
+                                              spec_hash);
+  }
+
   // Phase 1: dial and handshake the whole fleet in parallel, so every
   // host's advertised capacity is known before any work is dealt.
-  const std::size_t host_count = options_.hosts.size();
-  std::vector<std::unique_ptr<Connection>> conns(host_count);
-  std::vector<Timer> clocks(host_count);
   {
     std::vector<std::thread> dialers;
     dialers.reserve(host_count);
     for (std::size_t h = 0; h < host_count; ++h)
       dialers.emplace_back([&, h] {
-        clocks[h].restart();
+        HostSlot& slot = slots[h];
+        slot.clock.restart();
         try {
-          conns[h] = connect_and_handshake(options_, *transport,
-                                           outcome.hosts[h]);
+          slot.conn =
+              connect_and_handshake(options_, *transport, slot.report);
         } catch (const std::exception& e) {
-          outcome.hosts[h].died = true;
-          outcome.hosts[h].error =
-              std::string("handshake failed: ") + e.what();
+          slot.report.died = true;
+          slot.report.error = std::string("handshake failed: ") + e.what();
         }
-        if (!conns[h])
-          outcome.hosts[h].wall_seconds = clocks[h].elapsed_seconds();
+        if (!slot.conn)
+          slot.report.wall_seconds = slot.clock.elapsed_seconds();
       });
     for (auto& dialer : dialers) dialer.join();
   }
@@ -304,54 +356,184 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   std::size_t connected = 0;
   std::size_t total_capacity = 0;
   for (std::size_t h = 0; h < host_count; ++h)
-    if (outcome.hosts[h].connected) {
-      capacities[h] = std::max<std::size_t>(outcome.hosts[h].capacity, 1);
+    if (slots[h].report.connected) {
+      capacities[h] = std::max<std::size_t>(slots[h].report.capacity, 1);
       total_capacity += capacities[h];
       ++connected;
     }
   HostPool pool(capacities, cells.size(), options_.cells_per_shard,
                 options_.max_attempts, options_.speculate_after_seconds,
                 options_.allow_steal);
+
+  // Journaled cells settle now, before any dispatch: drivers skip them
+  // (first_unsettled), and a live re-answer from a mid-unit overlap is
+  // deduplicated exactly like a straggler's.
+  for (auto& cell : replayed.cells) {
+    const std::size_t index = cell.cell.index;
+    (void)pool.complete_cell(index);
+    outcome.cell_host[index] = kCellHostJournal;
+    outcome.results[index] = std::move(cell);
+  }
+  outcome.journaled = replayed.cells.size();
+  if (outcome.journaled > 0)
+    log_info() << "sched: journal '" << options_.journal_path
+               << "' replayed " << outcome.journaled << " settled cell(s) ("
+               << replayed.duplicates << " duplicate record(s) dropped)";
+
   log_info() << "sched: " << cells.size() << " cells over " << connected
              << " of " << host_count << " host(s) (total capacity "
              << total_capacity << "), " << options_.cells_per_shard
              << " cell(s)/shard, " << options_.max_attempts
              << " attempt(s)";
 
-  std::vector<std::thread> drivers;
-  drivers.reserve(host_count);
+  const auto run_driver = [&](std::size_t h, HostSlot& slot) {
+    DriverContext ctx{spec,
+                      options_,
+                      cells,
+                      prefix,
+                      pool,
+                      outcome.results,
+                      outcome.cell_host,
+                      journal.get()};
+    try {
+      drive_host(ctx, h, *slot.conn, slot.report);
+    } catch (const std::exception& e) {
+      // A driver must never take the process down or wedge the pool:
+      // give its work back and record the host as lost.
+      slot.report.died = true;
+      slot.report.error = std::string("driver failed: ") + e.what();
+      abandon(ctx, h, slot.report.error);
+      pool.retire_host(h);
+    }
+    // Dial-to-drain on this host's clock (includes the fleet
+    // handshake barrier the host actually waited out).
+    slot.report.wall_seconds = slot.clock.elapsed_seconds();
+  };
+
   for (std::size_t h = 0; h < host_count; ++h) {
-    if (!conns[h]) continue;
-    drivers.emplace_back([&, h] {
-      DriverContext ctx{spec,   options_,        cells,
-                        prefix, pool,            outcome.results,
-                        outcome.cell_host};
-      try {
-        drive_host(ctx, h, *conns[h], outcome.hosts[h]);
-      } catch (const std::exception& e) {
-        // A driver must never take the process down or wedge the pool:
-        // give its work back and record the host as lost.
-        outcome.hosts[h].died = true;
-        outcome.hosts[h].error = std::string("driver failed: ") + e.what();
-        abandon(ctx, h, outcome.hosts[h].error);
-        pool.retire_host(h);
+    HostSlot& slot = slots[h];
+    if (!slot.conn) continue;
+    slot.driver = std::thread([&run_driver, h, &slot] { run_driver(h, slot); });
+    slot.driver_started = true;
+  }
+
+  // Dynamic admission: accept late `phonoc_workerd --join` daemons and
+  // hand each a fresh pool slot — the joiner reaches work through the
+  // retry queue, stealing and speculation, like any idle host.
+  std::atomic<bool> admitting{false};
+  std::unique_ptr<TcpListener> listener;
+  std::thread admitter;
+  if (options_.admit_port >= 0) {
+    listener = std::make_unique<TcpListener>(
+        static_cast<std::uint16_t>(options_.admit_port));
+    admitting.store(true);
+    log_info() << "sched: admitting late workers on port "
+               << listener->port();
+    if (options_.on_admit_port) options_.on_admit_port(listener->port());
+    admitter = std::thread([&] {
+      while (admitting.load()) {
+        try {
+          auto conn = listener->accept_for(0.1);
+          if (!conn) continue;  // timeout tick: re-check the stop flag
+          if (pool.all_settled()) {
+            conn->close();
+            continue;
+          }
+          HostReport probe;
+          probe.endpoint = "admitted";
+          if (!handshake(options_, *conn, probe)) {
+            log_warning() << "sched: rejected a late joiner: "
+                          << probe.error;
+            conn->close();
+            continue;
+          }
+          const std::lock_guard<std::mutex> lock(slots_mutex);
+          // The pool and slot indices stay aligned: both grow by one
+          // under this mutex.
+          const std::size_t h = pool.add_host();
+          slots.emplace_back();
+          HostSlot& slot = slots.back();
+          slot.report = probe;
+          slot.report.endpoint =
+              "admitted#" + std::to_string(h - host_count);
+          slot.report.admitted_late = true;
+          slot.clock.restart();
+          slot.conn = std::move(conn);
+          log_info() << "sched: admitted late worker '"
+                     << slot.report.endpoint << "' (capacity "
+                     << slot.report.capacity << ")";
+          slot.driver =
+              std::thread([&run_driver, h, &slot] { run_driver(h, slot); });
+          slot.driver_started = true;
+        } catch (const std::exception& e) {
+          log_warning() << "sched: admission loop failed: " << e.what();
+          break;
+        }
       }
-      // Dial-to-drain on this host's clock (includes the fleet
-      // handshake barrier the host actually waited out).
-      outcome.hosts[h].wall_seconds = clocks[h].elapsed_seconds();
     });
   }
-  for (auto& driver : drivers) driver.join();
+
+  // Join every driver, including ones admitted while joining. Without
+  // admission this is the plain "wait for the fleet" barrier; with it,
+  // an all-drivers-exited fleet holds the sweep open admit_grace_seconds
+  // for a joiner before giving up on the unsettled cells.
+  const auto join_pass = [&]() {
+    std::size_t joined = 0;
+    for (;;) {
+      std::thread* driver = nullptr;
+      {
+        const std::lock_guard<std::mutex> lock(slots_mutex);
+        for (auto& slot : slots)
+          if (slot.driver_started && !slot.joined) {
+            slot.joined = true;
+            driver = &slot.driver;
+            break;
+          }
+      }
+      if (!driver) return joined;
+      driver->join();
+      ++joined;
+    }
+  };
+  if (admitter.joinable()) {
+    Timer idle;
+    for (;;) {
+      if (join_pass() > 0) idle.restart();
+      if (pool.all_settled()) break;
+      if (idle.elapsed_seconds() >= options_.admit_grace_seconds) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    admitting.store(false);
+    admitter.join();
+    // A joiner admitted in the shutdown race window still gets joined
+    // (and its cells counted) — the admitter is dead, so this is final.
+    (void)join_pass();
+  } else {
+    (void)join_pass();
+  }
 
   // Cells no surviving host could take (e.g. the whole fleet died with
   // work still queued) must fail loudly, not vanish.
-  DriverContext cleanup{spec,   options_,        cells,
-                        prefix, pool,            outcome.results,
-                        outcome.cell_host};
+  DriverContext cleanup{spec,
+                        options_,
+                        cells,
+                        prefix,
+                        pool,
+                        outcome.results,
+                        outcome.cell_host,
+                        nullptr};
   for (const auto index : pool.unsettled_cells())
     mark_cell_failed(cleanup, index,
                      "no live host was available to run this cell");
 
+  for (std::size_t h = 0; h < slots.size(); ++h) {
+    HostReport report = slots[h].report;
+    const auto counters = pool.host_counters(h);
+    report.steals = counters.stolen_units;
+    report.retries = counters.retried_units;
+    report.speculations = counters.speculated_units;
+    outcome.hosts.push_back(std::move(report));
+  }
   outcome.pool = pool.stats();
   outcome.wall_seconds = wall.elapsed_seconds();
   for (const auto& host : outcome.hosts)
@@ -377,11 +559,20 @@ SweepReport merge_host_reports(const SweepSpec& spec,
     merged.merge_concurrent(
         SweepReport::build(spec, subset, outcome.hosts[h].wall_seconds));
   }
+  // Cells replayed from the journal were paid for by the *previous*
+  // scheduler run: their cpu sums in, but they carry no wall clock of
+  // this run (max-merge with 0 changes nothing).
+  std::vector<CellResult> journaled;
+  for (std::size_t i = 0; i < outcome.results.size(); ++i)
+    if (outcome.cell_host[i] == kCellHostJournal)
+      journaled.push_back(outcome.results[i]);
+  if (!journaled.empty())
+    merged.merge_concurrent(SweepReport::build(spec, journaled, 0.0));
   // Cells nobody answered (scheduler-side failures) still count toward
   // failed_count; they carry no host clock.
   std::vector<CellResult> unrouted;
   for (std::size_t i = 0; i < outcome.results.size(); ++i)
-    if (outcome.cell_host[i] < 0 &&
+    if (outcome.cell_host[i] == kCellHostUnanswered &&
         outcome.results[i].status == CellStatus::Failed)
       unrouted.push_back(outcome.results[i]);
   if (!unrouted.empty())
@@ -407,6 +598,9 @@ std::vector<CellResult> run_remote(const SweepSpec& spec,
   SchedulerOptions sched;
   sched.hosts = options.remote_hosts;
   sched.evaluator = options.evaluator;
+  sched.journal_path = options.journal_path;
+  if (options.cells_per_shard > 0)
+    sched.cells_per_shard = options.cells_per_shard;
   return Scheduler(std::move(sched)).run(spec).results;
 }
 

@@ -10,7 +10,12 @@
 /// dies mid-shard, a straggler that answers after its work was cloned
 /// elsewhere (first answer wins, the late one is deduplicated), and a
 /// fleet that loses every host (the unroutable cells come back as
-/// CellStatus::Failed, never silently dropped).
+/// CellStatus::Failed, never silently dropped). The *scheduler's* own
+/// death is covered by the settled-cell journal (journal_path replays
+/// on restart, see sched/journal.hpp), and a shrinking fleet by dynamic
+/// admission (admit_port lets `phonoc_workerd --join` daemons enter a
+/// sweep already in flight and absorb queued, stolen or speculated
+/// units).
 ///
 /// Determinism: cells execute through the same build_sweep_problems()
 /// + run_sweep_cell() path as the in-process backend and the wire
@@ -21,6 +26,8 @@
 /// with an injected mid-sweep worker death).
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +38,10 @@
 #include "sched/transport.hpp"
 
 namespace phonoc {
+
+/// ScheduleResult::cell_host sentinels (real hosts are >= 0).
+inline constexpr int kCellHostUnanswered = -1;  ///< no host answered
+inline constexpr int kCellHostJournal = -2;     ///< settled by journal replay
 
 struct SchedulerOptions {
   /// Worker endpoints, one per fleet host ("host:port" TCP daemons, or
@@ -59,6 +70,26 @@ struct SchedulerOptions {
   double speculate_after_seconds = 30.0;
   /// Allow idle hosts to steal queued units from busier ones.
   bool allow_steal = true;
+  /// Settled-cell journal path (see sched/journal.hpp); empty disables.
+  /// Every accepted cell answer is appended as a checksummed record, and
+  /// an existing journal for the same spec is replayed before any work
+  /// is dealt — a killed scheduler resumes instead of restarting.
+  /// Replay errors (corruption, truncation, wrong sweep) throw from
+  /// run() rather than silently reusing partial state.
+  std::string journal_path;
+  /// Dynamic admission: listen on this TCP port for late-joining
+  /// workers (`phonoc_workerd --join`) and hand them work mid-sweep.
+  /// 0 picks an ephemeral port (read back via on_admit_port); negative
+  /// disables. With admission on, a fleet whose every driver has exited
+  /// holds the sweep open `admit_grace_seconds` for a joiner before
+  /// failing the unsettled cells.
+  int admit_port = -1;
+  /// Called once with the bound admission port (useful with
+  /// admit_port = 0); runs on the scheduling thread before any work.
+  std::function<void(std::uint16_t)> on_admit_port;
+  /// How long an otherwise-dead fleet waits for a late joiner (only
+  /// with admit_port >= 0).
+  double admit_grace_seconds = 30.0;
 };
 
 /// What one host contributed to a sweep.
@@ -74,10 +105,18 @@ struct HostReport {
   /// initial contiguous unit block proportionally to this value
   /// (hosts that fail the handshake weigh nothing).
   std::size_t capacity = 1;
+  /// Joined mid-sweep through the admission port rather than the
+  /// configured fleet (endpoint reads "admitted#N").
+  bool admitted_late = false;
   std::size_t shards = 0;    ///< work units served to completion
   std::size_t cells_ok = 0;  ///< accepted Ok results
   std::size_t cells_failed = 0;  ///< accepted worker-reported failures
   std::size_t duplicates = 0;    ///< late answers dropped by dedup
+  /// Ledger activity (from HostPool::host_counters): units this host
+  /// pulled through the non-own-queue acquire paths.
+  std::size_t steals = 0;        ///< units taken from another host's queue
+  std::size_t retries = 0;       ///< units picked up off the retry queue
+  std::size_t speculations = 0;  ///< straggler clones this host ran
   /// Host-observed clocks: wall from dial to drain; cpu = sum of the
   /// accepted *Ok* cells' per-cell seconds (failed cells are excluded,
   /// matching SweepReport::build, so merged cpu == sum of host cpu).
@@ -89,11 +128,15 @@ struct HostReport {
 struct ScheduleResult {
   /// Grid-ordered per-cell results, exactly like BatchEngine::run.
   std::vector<CellResult> results;
-  /// Which host's answer settled each cell (index into hosts; -1 for a
-  /// cell no host answered).
+  /// Which host's answer settled each cell (index into hosts;
+  /// kCellHostUnanswered for a cell no host answered, kCellHostJournal
+  /// for a cell replayed from the journal).
   std::vector<int> cell_host;
+  /// Configured fleet first (in SchedulerOptions::hosts order), then
+  /// any late-admitted hosts in admission order.
   std::vector<HostReport> hosts;
   HostPoolStats pool;          ///< retries / speculations / dedup counts
+  std::size_t journaled = 0;   ///< cells settled by journal replay
   double wall_seconds = 0.0;   ///< scheduler-observed elapsed time
 };
 

@@ -1,9 +1,12 @@
 #include "sched/service.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -12,6 +15,7 @@
 
 #include "exec/batch_engine.hpp"
 #include "exec/serialize.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -87,6 +91,55 @@ struct SpecCache {
   }
 };
 
+/// Streams settled cells to the peer from any exec thread: one mutex
+/// serializes the frame writes, the served-cell counter and the
+/// injected-crash hook, so concurrently settling cells leave as whole
+/// frames (in settle order, not slice order — the scheduler matches by
+/// cell index). Serialization happens outside the lock; only the send
+/// and the counters are held under it.
+class CellWriter {
+ public:
+  CellWriter(Connection& conn, const ServiceOptions& options,
+             std::size_t& cells_served)
+      : conn_(conn), options_(options), cells_served_(cells_served) {}
+
+  /// False once the peer is gone (every later emit is a cheap no-op, so
+  /// a dead connection drains the pool instead of wedging it).
+  bool emit(const CellResult& result) {
+    std::ostringstream block;
+    write_cell_result(block, result);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (peer_gone_) return false;
+    if (!conn_.send(block.str())) {
+      peer_gone_ = true;
+      return false;
+    }
+    ++cells_served_;
+    if (options_.crash_after_cells >= 0 &&
+        cells_served_ >=
+            static_cast<std::size_t>(options_.crash_after_cells)) {
+      // Injected worker death: die the hard way, mid-sweep, with every
+      // already-sent frame intact on the wire.
+      log_warning() << "sched service: injected crash after "
+                    << cells_served_ << " cell(s)";
+      std::abort();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool peer_gone() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return peer_gone_;
+  }
+
+ private:
+  Connection& conn_;
+  const ServiceOptions& options_;
+  std::size_t& cells_served_;
+  mutable std::mutex mutex_;
+  bool peer_gone_ = false;
+};
+
 }  // namespace
 
 std::size_t serve_connection(Connection& conn, const ServiceOptions& options) {
@@ -124,6 +177,14 @@ std::size_t serve_connection(Connection& conn, const ServiceOptions& options) {
                  std::to_string(capacity)))
     return cells_served;
 
+  // The internal exec pool: shard cells run `exec_threads` at a time
+  // (advertised capacity by default), streaming frames as they settle.
+  // Built lazily on the first shard wide enough to use it, so a
+  // handshake-only probe never spawns threads.
+  const std::size_t exec_threads =
+      options.exec_threads > 0 ? options.exec_threads : capacity;
+  std::unique_ptr<ThreadPool> pool;
+
   SpecCache cache;
   for (;;) {
     Connection::RecvResult request;
@@ -155,26 +216,40 @@ std::size_t serve_connection(Connection& conn, const ServiceOptions& options) {
                 std::to_string(cache.cells.size()));
       cache.ensure_problems(shard.begin, shard.end);
 
-      for (std::size_t i = shard.begin; i < shard.end; ++i) {
-        // run_sweep_cell_isolated: a throwing optimizer becomes a
-        // Failed cell, same semantics as the fork/exec worker.
-        std::ostringstream block;
-        write_cell_result(block,
-                          run_sweep_cell_isolated(cache.spec, cache.cells[i],
-                                                  cache.problems,
-                                                  shard.evaluator));
-        if (!conn.send(block.str())) return cells_served;
-        ++cells_served;
-        if (options.crash_after_cells >= 0 &&
-            cells_served >= static_cast<std::size_t>(
-                                options.crash_after_cells)) {
-          // Injected worker death: die the hard way, mid-sweep, with
-          // every already-sent frame intact on the wire.
-          log_warning() << "sched service: injected crash after "
-                        << cells_served << " cell(s)";
-          std::abort();
+      // run_sweep_cell_isolated: a throwing optimizer becomes a Failed
+      // cell, same semantics as the fork/exec worker — on either path.
+      CellWriter writer(conn, options, cells_served);
+      if (exec_threads > 1 && shard.end - shard.begin > 1) {
+        if (!pool) pool = std::make_unique<ThreadPool>(exec_threads);
+        std::vector<std::future<void>> settled;
+        settled.reserve(shard.end - shard.begin);
+        for (std::size_t i = shard.begin; i < shard.end; ++i)
+          settled.push_back(pool->submit([&, i] {
+            if (writer.peer_gone()) return;  // drain cheaply after a death
+            (void)writer.emit(run_sweep_cell_isolated(
+                cache.spec, cache.cells[i], cache.problems,
+                shard.evaluator));
+          }));
+        // Every future must be collected before anything can unwind the
+        // stack the queued tasks point into; the first unexpected
+        // exception is rethrown only after the shard has drained.
+        std::exception_ptr first_failure;
+        for (auto& cell : settled) {
+          try {
+            cell.get();
+          } catch (...) {
+            if (!first_failure) first_failure = std::current_exception();
+          }
         }
+        if (first_failure) std::rethrow_exception(first_failure);
+      } else {
+        for (std::size_t i = shard.begin; i < shard.end; ++i)
+          if (!writer.emit(run_sweep_cell_isolated(
+                  cache.spec, cache.cells[i], cache.problems,
+                  shard.evaluator)))
+            break;
       }
+      if (writer.peer_gone()) return cells_served;
       if (!conn.send(std::string(kSchedDonePrefix) + " " +
                      std::to_string(shard.end - shard.begin)))
         return cells_served;

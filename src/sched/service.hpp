@@ -10,6 +10,14 @@
 /// peer disconnects. Cells execute through the exact
 /// build_sweep_problems() + run_sweep_cell() path of the in-process
 /// backend, which is what keeps remote results bit-identical.
+///
+/// Each shard's cells run on an internal exec ThreadPool sized by the
+/// advertised capacity (`ServiceOptions::exec_threads` overrides), with
+/// result frames streamed as cells settle under a mutex-serialized
+/// writer. Frames may therefore leave out of slice order; the scheduler
+/// matches answers by cell index and dedups first-wins, so the merged
+/// results stay bit-identical to a serial worker (each cell's outcome
+/// depends only on (spec, cell), never on the thread that ran it).
 
 #include <cstddef>
 
@@ -31,10 +39,13 @@ struct ServiceOptions {
   /// Worker capacity advertised in the hello reply ("hello ... capacity
   /// N"): how many cells this worker could usefully run at once. 0 =
   /// the hardware thread count. Schedulers parse it into
-  /// HostReport::capacity (groundwork for capacity-weighted dealing);
-  /// peers predating the field send a bare hello and are taken as
-  /// capacity 1.
+  /// HostReport::capacity (it drives capacity-weighted dealing); peers
+  /// predating the field send a bare hello and are taken as capacity 1.
   std::size_t advertised_capacity = 0;
+  /// Exec threads of the internal pool a shard's cells run on. 0 sizes
+  /// the pool by the (resolved) advertised capacity; 1 executes the
+  /// slice inline on the serving thread (the pre-pool serial path).
+  std::size_t exec_threads = 0;
 };
 
 /// Serve one scheduler connection to completion; returns the number of

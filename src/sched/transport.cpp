@@ -198,15 +198,23 @@ std::unique_ptr<Connection> TcpTransport::connect(
 // --- loopback ---------------------------------------------------------------
 
 struct LoopbackTransport::Impl {
-  struct Server {
+  struct Worker {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> finished;
   };
   std::mutex mutex;
-  std::vector<Server> servers;
+  std::vector<Worker> servers;
+  LoopbackTransport::Server serve;
 };
 
-LoopbackTransport::LoopbackTransport() : impl_(std::make_unique<Impl>()) {}
+LoopbackTransport::LoopbackTransport()
+    : LoopbackTransport(
+          [](Connection& conn) { return serve_connection(conn, {}); }) {}
+
+LoopbackTransport::LoopbackTransport(Server server)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->serve = std::move(server);
+}
 
 LoopbackTransport::~LoopbackTransport() {
   // Connections are expected to be closed by now; joining here makes a
@@ -238,9 +246,10 @@ std::unique_ptr<Connection> LoopbackTransport::connect(
         ++it;
       }
     }
-    servers.push_back(Impl::Server{
-        std::thread([conn = std::move(server_side), finished]() mutable {
-          (void)serve_connection(*conn, {});
+    servers.push_back(Impl::Worker{
+        std::thread([conn = std::move(server_side), finished,
+                     serve = impl_->serve]() mutable {
+          (void)serve(*conn);
           conn->close();
           finished->store(true);
         }),
@@ -294,6 +303,33 @@ std::unique_ptr<Connection> TcpListener::accept() {
   }
 }
 
+std::unique_ptr<Connection> TcpListener::accept_for(double timeout_seconds) {
+  Timer timer;
+  for (;;) {
+    int poll_ms = -1;
+    if (timeout_seconds > 0.0) {
+      const double remaining = timeout_seconds - timer.elapsed_seconds();
+      if (remaining <= 0.0) return nullptr;
+      poll_ms = static_cast<int>(remaining * 1e3) + 1;
+    }
+    struct pollfd pfd {fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, poll_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if (ready == 0) return nullptr;  // timeout
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return make_fd_connection(fd);
+    // A dial that vanished between poll and accept (ECONNABORTED and
+    // friends) is not worth reporting; wait for the next one.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK)
+      continue;
+    return nullptr;
+  }
+}
+
 #else  // !PHONOC_HAS_SOCKETS
 
 namespace {
@@ -312,6 +348,7 @@ std::unique_ptr<Connection> TcpTransport::connect(const std::string&) {
 }
 struct LoopbackTransport::Impl {};
 LoopbackTransport::LoopbackTransport() = default;
+LoopbackTransport::LoopbackTransport(Server) : LoopbackTransport() {}
 LoopbackTransport::~LoopbackTransport() = default;
 std::unique_ptr<Connection> LoopbackTransport::connect(const std::string&) {
   no_sockets();
@@ -319,6 +356,7 @@ std::unique_ptr<Connection> LoopbackTransport::connect(const std::string&) {
 TcpListener::TcpListener(std::uint16_t) { no_sockets(); }
 TcpListener::~TcpListener() = default;
 std::unique_ptr<Connection> TcpListener::accept() { no_sockets(); }
+std::unique_ptr<Connection> TcpListener::accept_for(double) { no_sockets(); }
 
 #endif
 

@@ -23,6 +23,7 @@
 /// POSIX-only: on other platforms connect() throws ExecError.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -101,7 +102,14 @@ class TcpTransport : public Transport {
 /// Destruction joins the server threads; close every Connection first.
 class LoopbackTransport : public Transport {
  public:
+  /// The worker body run for each served connection. The default is
+  /// `serve_connection(conn, {})`; tests and benches inject a body with
+  /// non-default ServiceOptions (e.g. a fixed exec-pool width) to pin
+  /// worker-side behaviour without a daemon process.
+  using Server = std::function<std::size_t(Connection&)>;
+
   LoopbackTransport();
+  explicit LoopbackTransport(Server server);
   ~LoopbackTransport() override;
   [[nodiscard]] std::unique_ptr<Connection> connect(
       const std::string& endpoint) override;
@@ -129,6 +137,12 @@ class TcpListener {
   /// Next inbound connection (blocking); nullptr when the listener was
   /// interrupted by a fatal accept error.
   [[nodiscard]] std::unique_ptr<Connection> accept();
+  /// Like accept() but gives up after `timeout_seconds` (<= 0 waits
+  /// forever). Returns nullptr on timeout as well as on a fatal error —
+  /// pollers that need to re-check a stop flag between dials use this
+  /// (the scheduler's dynamic-admission loop).
+  [[nodiscard]] std::unique_ptr<Connection> accept_for(
+      double timeout_seconds);
 
  private:
   int fd_ = -1;

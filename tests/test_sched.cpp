@@ -11,7 +11,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <deque>
+#include <fstream>
+#include <future>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -22,7 +25,9 @@
 #include "exec/serialize.hpp"
 #include "exec/sweep.hpp"
 #include "sched/host_pool.hpp"
+#include "sched/journal.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/service.hpp"
 #include "sched/transport.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -772,6 +777,352 @@ TEST(Aggregate, MergeConcurrentTakesMaxWallAndSumsCpu) {
   sequential.merge(SweepReport::build(spec, odd, 2.5));
   EXPECT_EQ(sequential.wall_seconds, 6.5);  // sum: back-to-back shards
   EXPECT_NEAR(concurrent.cpu_seconds, sequential.cpu_seconds, 1e-12);
+}
+
+// --- the worker's internal exec pool ----------------------------------------
+
+TEST(Scheduler, WorkerInternalPoolStaysBitIdenticalForBothTaskKinds) {
+  // A worker whose shard cells run 8-at-a-time on its internal exec
+  // pool streams frames in settle order, not slice order; the
+  // scheduler's index-matching and first-wins dedup must still produce
+  // results bit-identical to the serial in-process backend.
+  const auto pooled = std::make_shared<LoopbackTransport>([](Connection& conn) {
+    ServiceOptions service;
+    service.exec_threads = 8;
+    service.advertised_capacity = 8;
+    return serve_connection(conn, service);
+  });
+
+  // Optimize kind, 64 cells in 16-cell slices (wide enough that the
+  // pool genuinely interleaves).
+  const auto spec = spec64();
+  const auto reference = BatchEngine({.workers = 2}).run(spec);
+  SchedulerOptions options;
+  options.hosts = {"loopback"};
+  options.transport = pooled;
+  options.cells_per_shard = 16;
+  const auto outcome = Scheduler(options).run(spec);
+  ASSERT_EQ(outcome.hosts.size(), 1u);
+  EXPECT_EQ(outcome.hosts[0].capacity, 8u);
+  EXPECT_EQ(outcome.hosts[0].cells_ok, cell_count(spec));
+  expect_all_identical(spec, outcome.results, reference);
+
+  // Sample kind through the same pooled worker: merged distributions
+  // bit-identical to in-process.
+  SweepSpec sampling;
+  sampling.add_workload("p5", pipeline_cg(5))
+      .add_topology(TopologyKind::Mesh)
+      .add_goal(OptimizationGoal::Snr)
+      .add_seed_range(5, 4)
+      .use_sampling({.samples_per_cell = 40});
+  const auto sample_reference = BatchEngine({.workers = 1}).run(sampling);
+  SchedulerOptions sample_options;
+  sample_options.hosts = {"loopback"};
+  sample_options.transport = pooled;
+  sample_options.cells_per_shard = 4;
+  const auto sampled = Scheduler(sample_options).run(sampling);
+  ASSERT_EQ(sampled.results.size(), sample_reference.size());
+  for (const auto& result : sampled.results)
+    ASSERT_EQ(result.status, CellStatus::Ok) << result.error;
+  EXPECT_TRUE(identical_distributions(
+      merge_cell_distributions(sampled.results, 0, sampled.results.size()),
+      merge_cell_distributions(sample_reference, 0,
+                               sample_reference.size())));
+}
+
+// --- the settled-cell journal ------------------------------------------------
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(Journal, MissingEmptyAndHeaderOnlyFilesReplayToNothing) {
+  const std::string path = temp_journal("journal_fresh");
+  EXPECT_TRUE(replay_journal(path, 0x1234u, 8).cells.empty());
+
+  // An empty file (created, never written) is the same fresh start.
+  { std::ofstream touch(path); }
+  EXPECT_TRUE(replay_journal(path, 0x1234u, 8).cells.empty());
+
+  // The writer stamps the header; a header-only journal holds no cells.
+  { JournalWriter writer(path, 0x1234u); }
+  const auto replay = replay_journal(path, 0x1234u, 8);
+  EXPECT_TRUE(replay.cells.empty());
+  EXPECT_EQ(replay.duplicates, 0u);
+}
+
+TEST(Journal, AdversarialReplaysAreExplicitErrorsNeverSilentReuse) {
+  const auto spec = spec8();
+  const auto cells = expand(spec);
+  const std::uint64_t hash = journal_spec_hash(spec, EvaluatorOptions{});
+  const std::string path = temp_journal("journal_adversarial");
+
+  const auto write_journal = [&](const std::vector<std::size_t>& indices) {
+    std::remove(path.c_str());
+    JournalWriter writer(path, hash);
+    for (const auto index : indices) {
+      std::ostringstream block;
+      write_cell_result(block,
+                        make_failed_cell(spec, cells[index], "seeded"));
+      writer.append(block.str());
+    }
+  };
+  const auto mutate_file = [&](const auto& mutation) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    std::string bytes = slurp.str();
+    mutation(bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  };
+
+  // Truncated final record: the writer died mid-append.
+  write_journal({0, 1});
+  mutate_file([](std::string& bytes) { bytes.resize(bytes.size() - 7); });
+  EXPECT_THROW((void)replay_journal(path, hash, cells.size()), JournalError);
+
+  // Checksum corruption inside a record's payload.
+  write_journal({0});
+  mutate_file([](std::string& bytes) { bytes[bytes.size() - 3] ^= 0x20; });
+  EXPECT_THROW((void)replay_journal(path, hash, cells.size()), JournalError);
+
+  // A journal keyed to a different sweep must never replay.
+  write_journal({0});
+  EXPECT_THROW((void)replay_journal(path, hash + 1, cells.size()),
+               JournalError);
+
+  // A record that settles a cell outside this sweep's grid.
+  write_journal({5});
+  EXPECT_THROW((void)replay_journal(path, hash, 3), JournalError);
+
+  // Duplicate records replay first-wins, exactly like the live stream.
+  write_journal({2, 2, 3});
+  const auto replay = replay_journal(path, hash, cells.size());
+  EXPECT_EQ(replay.cells.size(), 2u);
+  EXPECT_EQ(replay.duplicates, 1u);
+  EXPECT_EQ(replay.cells[0].cell.index, 2u);
+  EXPECT_EQ(replay.cells[1].cell.index, 3u);
+}
+
+TEST(Scheduler, JournalResumeSkipsSettledCellsAndStaysIdentical) {
+  const auto spec = spec8();
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+  const std::string path = temp_journal("journal_resume");
+
+  // Run 1: the lone host dies after 5 cells with retries off — the 5
+  // answered cells are journaled, the stranded tail fails.
+  SchedulerOptions first;
+  first.hosts = {"dying"};
+  first.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{{"dying", {.die_after_cells = 5}}});
+  first.max_attempts = 1;
+  first.cells_per_shard = 8;  // one unit, so the death strands the tail
+  first.journal_path = path;
+  const auto crashed = Scheduler(first).run(spec);
+  std::size_t ok = 0;
+  for (const auto& result : crashed.results)
+    ok += result.status == CellStatus::Ok;
+  ASSERT_EQ(ok, 5u);
+  EXPECT_EQ(crashed.journaled, 0u);  // nothing pre-existed
+
+  // Run 2: healthy host, same journal. The 5 settled cells replay
+  // (scheduler-side failures were NOT journaled, so the healthier
+  // fleet retries them) and the merged outcome is bit-identical.
+  SchedulerOptions second;
+  second.hosts = {"healthy"};
+  second.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{});
+  second.journal_path = path;
+  const auto resumed = Scheduler(second).run(spec);
+  EXPECT_EQ(resumed.journaled, 5u);
+  expect_all_identical(spec, resumed.results, reference);
+  std::size_t replayed = 0;
+  for (const auto owner : resumed.cell_host)
+    replayed += owner == kCellHostJournal;
+  EXPECT_EQ(replayed, 5u);
+  // Only the unsettled remainder re-executed.
+  EXPECT_EQ(resumed.hosts[0].cells_ok, cell_count(spec) - 5);
+
+  const auto merged = merge_host_reports(spec, resumed);
+  EXPECT_EQ(merged.run_count, cell_count(spec));
+  EXPECT_EQ(merged.failed_count, 0u);
+
+  // Run 3: everything journaled now — a pure replay executes nothing.
+  const auto pure = Scheduler(second).run(spec);
+  EXPECT_EQ(pure.journaled, cell_count(spec));
+  EXPECT_EQ(pure.hosts[0].cells_ok, 0u);
+  expect_all_identical(spec, pure.results, reference);
+}
+
+TEST(Scheduler, ReplayOverlapDuplicatesAreCountedExactlyOnce) {
+  const auto spec = spec8();
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+  const std::string path = temp_journal("journal_overlap");
+
+  // Journal exactly one mid-unit cell (index 1). The live unit [0,4)
+  // only trims its settled *prefix*, so the worker re-executes cell 1
+  // and its wire answer collides with the replay — first-wins must
+  // count it exactly once.
+  {
+    JournalWriter writer(path, journal_spec_hash(spec, EvaluatorOptions{}));
+    std::ostringstream block;
+    write_cell_result(block, reference[1]);
+    writer.append(block.str());
+  }
+  SchedulerOptions options;
+  options.hosts = {"healthy"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{});
+  options.journal_path = path;
+  const auto outcome = Scheduler(options).run(spec);
+  EXPECT_EQ(outcome.journaled, 1u);
+  EXPECT_EQ(outcome.cell_host[1], kCellHostJournal);
+  EXPECT_EQ(outcome.hosts[0].duplicates, 1u);
+  expect_all_identical(spec, outcome.results, reference);
+
+  const auto merged = merge_host_reports(spec, outcome);
+  EXPECT_EQ(merged.run_count, cell_count(spec));  // counted once, not twice
+  EXPECT_EQ(merged.failed_count, 0u);
+}
+
+TEST(Scheduler, AllHostsDeadStillKeepsJournaledCells) {
+  const auto spec = spec8();
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+  const std::string path = temp_journal("journal_dead_fleet");
+  {
+    JournalWriter writer(path, journal_spec_hash(spec, EvaluatorOptions{}));
+    for (const auto index : {2u, 6u}) {
+      std::ostringstream block;
+      write_cell_result(block, reference[index]);
+      writer.append(block.str());
+    }
+  }
+  SchedulerOptions options;
+  options.hosts = {"down"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{{"down", {.refuse_connect = true}}});
+  options.journal_path = path;
+  const auto outcome = Scheduler(options).run(spec);
+  EXPECT_EQ(outcome.journaled, 2u);
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (i == 2 || i == 6) {
+      EXPECT_EQ(outcome.results[i].status, CellStatus::Ok);
+      EXPECT_EQ(outcome.cell_host[i], kCellHostJournal);
+    } else {
+      EXPECT_EQ(outcome.results[i].status, CellStatus::Failed);
+      EXPECT_NE(outcome.results[i].error.find("no live host"),
+                std::string::npos);
+    }
+  }
+  const auto merged = merge_host_reports(spec, outcome);
+  EXPECT_EQ(merged.run_count, 2u);
+  EXPECT_EQ(merged.failed_count, cell_count(spec) - 2);
+  EXPECT_EQ(merged.run_count + merged.failed_count, cell_count(spec));
+}
+
+TEST(Scheduler, JournalForADifferentSweepRefusesToRun) {
+  const auto spec = spec8();
+  const std::string path = temp_journal("journal_wrong_sweep");
+  {
+    JournalWriter writer(path, journal_spec_hash(spec, EvaluatorOptions{}));
+  }
+  SchedulerOptions options;
+  options.hosts = {"healthy"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{});
+  options.journal_path = path;
+  // Same journal, different sweep: a structured error, not partial reuse.
+  EXPECT_THROW((void)Scheduler(options).run(spec64()), ExecError);
+}
+
+// --- dynamic admission -------------------------------------------------------
+
+TEST(HostPool, AddHostJoinsTheLedgerAndPullsWorkThroughEveryPath) {
+  // 1 initial host, 8 cells in units of 2, immediate speculation.
+  HostPool pool(1, 8, 2, 3, 0.0);
+  const auto straggler = pool.acquire(0);  // [0,2) in flight, never done
+  ASSERT_TRUE(straggler);
+
+  const auto h = pool.add_host();
+  EXPECT_EQ(h, 1u);
+  // The joiner starts with nothing of its own and steals the tail...
+  for (const auto expected_begin : {6u, 4u, 2u}) {
+    const auto unit = pool.acquire(1);
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(unit->begin, expected_begin);
+    for (std::size_t i = unit->begin; i < unit->end; ++i)
+      EXPECT_TRUE(pool.complete_cell(i));
+    pool.finish_unit(1);
+  }
+  EXPECT_EQ(pool.host_counters(1).stolen_units, 3u);
+  // ...then clones the straggler's in-flight unit.
+  const auto clone = pool.acquire(1);
+  ASSERT_TRUE(clone);
+  EXPECT_EQ(clone->begin, 0u);
+  EXPECT_EQ(clone->attempt, 1u);
+  EXPECT_EQ(pool.host_counters(1).speculated_units, 1u);
+  for (std::size_t i = clone->begin; i < clone->end; ++i)
+    EXPECT_TRUE(pool.complete_cell(i));
+  pool.finish_unit(1);
+  EXPECT_TRUE(pool.all_settled());
+  EXPECT_FALSE(pool.acquire(0));
+  EXPECT_EQ(pool.host_counters(0).stolen_units, 0u);
+}
+
+TEST(Scheduler, LateAdmittedWorkerAbsorbsAWedgedSweep) {
+  // The configured fleet is one wedged host (accepts shards, never
+  // answers). A worker joining through the admission port mid-sweep
+  // must steal the queued work, speculate on the wedged unit, and
+  // settle every cell — bit-identical to in-process — while the wedged
+  // host exits via sweep-settled, not via its (long) cell timeout.
+  const auto spec = spec8();
+  const auto reference = BatchEngine({.workers = 1}).run(spec);
+
+  SchedulerOptions options;
+  options.hosts = {"wedged"};
+  options.transport = std::make_shared<FakeTransport>(
+      std::map<std::string, FakeBehavior>{{"wedged", {.black_hole = true}}});
+  options.cell_timeout_seconds = 120.0;  // only sweep-settled can end it
+  options.speculate_after_seconds = 0.0;
+  options.max_attempts = 3;
+  options.admit_port = 0;  // ephemeral; read back through the callback
+  std::promise<std::uint16_t> admit_port;
+  options.on_admit_port = [&](std::uint16_t port) {
+    admit_port.set_value(port);
+  };
+
+  ScheduleResult outcome;
+  std::thread sweep([&] { outcome = Scheduler(options).run(spec); });
+  const auto port = admit_port.get_future().get();
+
+  // The late worker: what `phonoc_workerd --join=127.0.0.1:PORT` does.
+  TcpTransport dialer;
+  auto conn = dialer.connect("127.0.0.1:" + std::to_string(port));
+  ASSERT_TRUE(conn);
+  ServiceOptions service;
+  service.exec_threads = 2;
+  service.advertised_capacity = 2;
+  const auto served = serve_connection(*conn, service);
+  conn->close();
+  sweep.join();
+
+  EXPECT_EQ(served, cell_count(spec));
+  expect_all_identical(spec, outcome.results, reference);
+  ASSERT_EQ(outcome.hosts.size(), 2u);
+  EXPECT_FALSE(outcome.hosts[0].admitted_late);
+  EXPECT_EQ(outcome.hosts[0].cells_ok, 0u);
+  const auto& joiner = outcome.hosts[1];
+  EXPECT_TRUE(joiner.admitted_late);
+  EXPECT_TRUE(joiner.connected);
+  EXPECT_EQ(joiner.endpoint, "admitted#0");
+  EXPECT_EQ(joiner.capacity, 2u);
+  EXPECT_EQ(joiner.cells_ok, cell_count(spec));
+  // It reached the work through the ledger, not an initial deal.
+  EXPECT_GT(joiner.steals + joiner.speculations + joiner.retries, 0u);
+  for (const auto owner : outcome.cell_host) EXPECT_EQ(owner, 1);
 }
 
 }  // namespace
