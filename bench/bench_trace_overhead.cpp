@@ -1,0 +1,158 @@
+/// \file bench_trace_overhead.cpp
+/// \brief The flight recorder's overhead contract, measured on the
+/// hot path that matters: mapping evaluation on the 175-edge reference
+/// CG (the same 64-task seed-7 random CG on an 8x8 torus the other
+/// snapshots use).
+///
+/// Three timed loops over the same random mapping stream:
+///   plain     — evaluate_raw alone (what an uninstrumented build runs)
+///   disabled  — evaluate_raw behind a TraceSpan + trace_instant with
+///               tracing off (what every instrumented seam costs in the
+///               default configuration: one relaxed load and a branch)
+///   enabled   — the same with the recorder armed (what --trace costs)
+///
+/// The acceptance bar is disabled-vs-plain overhead < 1%: tracing that
+/// nobody turned on must be free. Each loop is repeated and the best
+/// (least noisy) time kept. --json=FILE dumps the headline numbers
+/// (bench/BENCH_trace_overhead.json; regenerate with
+/// bench/update_snapshots.sh).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/experiment.hpp"
+#include "model/evaluation.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace phonoc;
+
+void do_not_optimize(double value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// The 175-edge reference problem (identical to bench_eval_micro's
+/// make_large_problem, so the numbers line up across snapshots).
+MappingProblem make_reference_problem() {
+  auto cg = random_cg({.tasks = 64,
+                       .avg_out_degree = 3.0,
+                       .min_bandwidth = 8,
+                       .max_bandwidth = 256,
+                       .seed = 7,
+                       .acyclic = false});
+  return MappingProblem(std::move(cg),
+                        make_network(TopologyKind::Torus, 8, "crux"),
+                        make_objective(OptimizationGoal::Snr));
+}
+
+enum class Mode { Plain, Instrumented };
+
+double best_seconds(const Evaluator& evaluator,
+                    const std::vector<Mapping>& mappings, Mode mode,
+                    std::size_t repeats) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    Timer timer;
+    if (mode == Mode::Plain) {
+      for (const auto& mapping : mappings) {
+        const auto result = evaluator.evaluate_raw(mapping);
+        do_not_optimize(result.worst_snr_db);
+      }
+    } else {
+      for (const auto& mapping : mappings) {
+        obs::TraceSpan span("bench", "evaluate");
+        obs::trace_instant("bench", "tick");
+        const auto result = evaluator.evaluate_raw(mapping);
+        span.arg({"snr", result.worst_snr_db});
+        do_not_optimize(result.worst_snr_db);
+      }
+    }
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+
+  const auto problem = make_reference_problem();
+  const Evaluator evaluator(problem);
+  std::fprintf(stderr, "# reference CG: %zu tasks, %zu edges on 8x8 torus\n",
+               problem.task_count(), problem.cg().edges().size());
+
+  constexpr std::size_t kMappings = 4096;
+  constexpr std::size_t kRepeats = 7;
+  Rng rng(31);
+  std::vector<Mapping> mappings;
+  mappings.reserve(kMappings);
+  for (std::size_t i = 0; i < kMappings; ++i)
+    mappings.push_back(
+        Mapping::random(problem.task_count(), problem.tile_count(), rng));
+
+  // Warm the caches once through each path before timing anything.
+  obs::stop_tracing();
+  (void)best_seconds(evaluator, mappings, Mode::Plain, 1);
+
+  const double plain =
+      best_seconds(evaluator, mappings, Mode::Plain, kRepeats);
+  const double disabled =
+      best_seconds(evaluator, mappings, Mode::Instrumented, kRepeats);
+  // A big enough ring that the enabled loop never pays drop bookkeeping.
+  obs::set_trace_buffer_capacity(2 * kMappings * kRepeats + 1024);
+  obs::start_tracing();
+  const double enabled =
+      best_seconds(evaluator, mappings, Mode::Instrumented, kRepeats);
+  obs::stop_tracing();
+
+  const double disabled_overhead = (disabled - plain) / plain * 100.0;
+  const double enabled_overhead = (enabled - plain) / plain * 100.0;
+  std::fprintf(stderr, "# plain:             %10.0f evals/sec\n",
+               kMappings / plain);
+  std::fprintf(stderr,
+               "# tracing disabled:  %10.0f evals/sec  (%+.2f%% vs plain)\n",
+               kMappings / disabled, disabled_overhead);
+  std::fprintf(stderr,
+               "# tracing enabled:   %10.0f evals/sec  (%+.2f%% vs plain)\n",
+               kMappings / enabled, enabled_overhead);
+  std::fprintf(stderr, "# disabled-tracing overhead %s the <1%% bar\n",
+               disabled_overhead < 1.0 ? "PASSES" : "EXCEEDS");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"trace_overhead\",\n"
+        << "  \"reference_edges\": " << problem.cg().edges().size() << ",\n"
+        << "  \"plain_evals_per_sec\": " << format_fixed(kMappings / plain, 0)
+        << ",\n"
+        << "  \"disabled_evals_per_sec\": "
+        << format_fixed(kMappings / disabled, 0) << ",\n"
+        << "  \"enabled_evals_per_sec\": "
+        << format_fixed(kMappings / enabled, 0) << ",\n"
+        << "  \"disabled_overhead_percent\": "
+        << format_fixed(disabled_overhead, 2) << ",\n"
+        << "  \"enabled_overhead_percent\": "
+        << format_fixed(enabled_overhead, 2) << ",\n"
+        << "  \"overhead_bar_percent\": 1.0\n"
+        << "}\n";
+    std::cout << "JSON written to " << json_path << '\n';
+  }
+  return disabled_overhead < 1.0 ? 0 : 2;
+}

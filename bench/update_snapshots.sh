@@ -11,6 +11,9 @@
 #                                   batch size + speedups)
 #   bench/BENCH_parallel_sweep.json headline numbers of the batch
 #                                   speedup + bit-identity bench
+#   bench/BENCH_trace_overhead.json flight-recorder overhead on the
+#                                   reference-CG evaluation hot path
+#                                   (tracing disabled must be <1%)
 #
 # Usage: bench/update_snapshots.sh [build-dir]   (default: ./build)
 #
@@ -41,6 +44,8 @@ PHONOC_SWEEP_EVALS=800 "$build/bench_parallel_sweep" \
   --workerd-threads=1,2,4 \
   --json=bench/BENCH_parallel_sweep.json >/dev/null
 
+"$build/bench_trace_overhead" --json=bench/BENCH_trace_overhead.json
+
 echo "snapshots updated:"
 ls -l bench/BENCH_eval_micro.json bench/BENCH_batch_eval.json \
-  bench/BENCH_parallel_sweep.json
+  bench/BENCH_parallel_sweep.json bench/BENCH_trace_overhead.json

@@ -11,6 +11,7 @@
 ///                    [--backend=thread|fork|remote] [--worker=PATH]
 ///                    [--hosts=EP1,EP2,...] [--cells-per-shard=N]
 ///                    [--journal=FILE] [--admit-port=N] [--pin]
+///                    [--trace=FILE] [--host-report-csv=FILE]
 ///                    [--verify] [--expect-failed=N]
 ///                    [--expect-admitted=N] [--expect-journaled-min=N]
 ///
@@ -40,6 +41,15 @@
 /// and absorb queued, stolen or speculated work. `--expect-admitted=N`
 /// asserts how many actually joined.
 ///
+/// `--trace=FILE` records the sweep's flight-recorder events (exec
+/// cell spans, sched deal/steal/settle, worker spawns) and writes them
+/// as Chrome trace_event JSON on exit — load the file in Perfetto or
+/// chrome://tracing. Tracing is read-only: results stay bit-identical
+/// with it on or off (see src/obs/README.md).
+///
+/// `--host-report-csv=FILE` (remote only) dumps the per-host ledger —
+/// one HostReport row per fleet member, late joiners last — as CSV.
+///
 /// `--pin` caps in-flight cells at the hardware thread count
 /// (`BatchOptions::pin_one_cell_per_thread`) so `max_seconds` budgets
 /// are not distorted by oversubscription.
@@ -67,6 +77,7 @@
 #include "exec/batch_engine.hpp"
 #include "exec/fork_exec.hpp"
 #include "exec/sweep.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -114,6 +125,13 @@ int main(int argc, char** argv) {
     std::cerr << "error: --backend must be 'thread', 'fork' or 'remote'\n";
     return 1;
   }
+  const auto trace_path = cli.get_or("trace", "");
+  const auto host_csv_path = cli.get_or("host-report-csv", "");
+  if (!host_csv_path.empty() && backend_name != "remote") {
+    std::cerr << "error: --host-report-csv needs --backend=remote\n";
+    return 1;
+  }
+  if (!trace_path.empty()) obs::start_tracing();
 
   SweepSpec spec;
   spec.add_all_benchmarks()
@@ -211,6 +229,25 @@ int main(int argc, char** argv) {
         std::cout << "  cell " << result.cell.index << " ("
                   << cell_label(spec, result.cell) << "): " << result.error
                   << '\n';
+  }
+
+  if (!trace_path.empty()) {
+    obs::stop_tracing();
+    obs::write_chrome_trace_file(trace_path);
+    std::cout << "Trace (" << obs::trace_event_count() << " events, "
+              << obs::trace_dropped_events() << " dropped) written to "
+              << trace_path << '\n';
+  }
+
+  if (!host_csv_path.empty()) {
+    std::ofstream out(host_csv_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << host_csv_path
+                << " for writing\n";
+      return 1;
+    }
+    out << host_report_csv(*fleet);
+    std::cout << "Host report written to " << host_csv_path << '\n';
   }
 
   if (const auto csv_path = cli.get("csv")) {

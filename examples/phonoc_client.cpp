@@ -25,6 +25,8 @@
 ///   --repeat=N            submit the identical request N times (the
 ///                         cross-request memo demo; default 1)
 ///   --stats               fetch and print the metrics snapshot instead
+///   --stats-prometheus    fetch the Prometheus text exposition instead
+///                         (same body `--prom-port` serves over HTTP)
 ///   --verify              compare against a local in-process run
 ///   --expect-reject=KIND  succeed iff the request is rejected with
 ///                         KIND (overloaded|budget|deadline|...)
@@ -112,8 +114,10 @@ int main(int argc, char** argv) {
     return 3;
   }
 
-  if (cli.has("stats")) {
-    if (!conn->send(kServiceStats)) return 3;
+  if (cli.has("stats") || cli.has("stats-prometheus")) {
+    if (!conn->send(cli.has("stats-prometheus") ? kServiceStatsPrometheus
+                                                : kServiceStats))
+      return 3;
     const auto reply = recv_reply();
     if (!reply || reply->kind != ServiceReply::Kind::Stats) return 3;
     std::cout << reply->body;

@@ -31,18 +31,42 @@
 ///   --crash-after-cells=N CI/test hook: abort() after emitting N cell
 ///                         results — the injected mid-sweep worker
 ///                         death the scheduler must recover from
+///   --trace=FILE          record flight-recorder events (serve_shard /
+///                         exec cell spans) and write Chrome trace_event
+///                         JSON on exit — load in Perfetto
 ///
 /// Exit codes: 0 = served the requested connections, 1 = setup error.
 
 #include <iostream>
 
+#include "obs/trace.hpp"
 #include "sched/service.hpp"
 #include "sched/transport.hpp"
 #include "util/cli.hpp"
 
+namespace {
+
+/// Writes the trace on every exit path of main (including early
+/// returns): armed by --trace=FILE, a no-op otherwise.
+struct TraceFlusher {
+  std::string path;
+  ~TraceFlusher() {
+    if (path.empty()) return;
+    phonoc::obs::stop_tracing();
+    phonoc::obs::write_chrome_trace_file(path);
+    std::cout << "phonoc_workerd: trace ("
+              << phonoc::obs::trace_event_count() << " events) written to "
+              << path << std::endl;
+  }
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace phonoc;
   const CliOptions cli(argc, argv);
+  TraceFlusher trace{cli.get_or("trace", "")};
+  if (!trace.path.empty()) obs::start_tracing();
   const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7401));
   const auto max_conns = cli.has("once")
                              ? 1

@@ -29,12 +29,24 @@
 ///   --idle-timeout=SECS   drop clients idle this long (0 = never)
 ///   --stats-csv=FILE      write the final metrics snapshot as CSV on
 ///                         graceful exit (requires --once/--max-conns)
+///   --prom-port=N         serve the Prometheus text exposition of the
+///                         live metrics over plain HTTP on this
+///                         loopback port (GET any path; 0 picks an
+///                         ephemeral port, printed at startup) —
+///                         the same text a framed `stats prometheus`
+///                         request returns
+///   --trace=FILE          record flight-recorder events (admit /
+///                         execute / cell spans, shed instants) and
+///                         write Chrome trace_event JSON on exit
 ///
 /// Exit codes: 0 = served the requested connections, 1 = setup error.
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 
+#include "obs/prom_http.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -86,11 +98,21 @@ int main(int argc, char** argv) {
   ServiceServerOptions server_options;
   server_options.idle_timeout_seconds = cli.get_double("idle-timeout", 0.0);
 
+  const auto trace_path = cli.get_or("trace", "");
+  if (!trace_path.empty()) obs::start_tracing();
+
   try {
     ServiceServer server(port, broker, server_options);
     std::cout << "phonocd: listening on 127.0.0.1:" << server.port()
               << " (backend=" << backend_name
               << ", queue=" << broker.max_queue_depth << ")" << std::endl;
+    std::optional<obs::PromHttpServer> prom;
+    if (cli.has("prom-port")) {
+      prom.emplace(static_cast<std::uint16_t>(cli.get_int("prom-port", 0)),
+                   [&server] { return server.broker().prometheus_text(); });
+      std::cout << "phonocd: metrics on http://127.0.0.1:" << prom->port()
+                << "/metrics" << std::endl;
+    }
     server.run(static_cast<std::size_t>(max_conns));
     const auto snapshot = server.broker().metrics();
     std::cout << "phonocd: served " << snapshot.connections
@@ -111,6 +133,12 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "phonocd: " << e.what() << "\n";
     return 1;
+  }
+  if (!trace_path.empty()) {
+    obs::stop_tracing();
+    obs::write_chrome_trace_file(trace_path);
+    std::cout << "phonocd: trace (" << obs::trace_event_count()
+              << " events) written to " << trace_path << std::endl;
   }
   return 0;
 }

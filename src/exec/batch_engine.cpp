@@ -8,6 +8,8 @@
 #include "core/evaluator.hpp"
 #include "exec/fork_exec.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -181,6 +183,11 @@ CellResult run_sample_cell(const SweepSpec& spec, const SweepCell& cell,
 CellResult run_sweep_cell(const SweepSpec& spec, const SweepCell& cell,
                           const MappingProblem& problem,
                           const EvaluatorOptions& evaluator) {
+  obs::TraceSpan span("exec", "cell");
+  span.arg({"index", std::uint64_t(cell.index)});
+  span.arg({"kind", std::string_view(spec.task_kind == SweepTaskKind::Sample
+                                         ? "sample"
+                                         : "optimize")});
   if (spec.task_kind == SweepTaskKind::Sample)
     return run_sample_cell(spec, cell, problem, evaluator);
   Timer timer;
@@ -197,6 +204,12 @@ CellResult run_sweep_cell(const SweepSpec& spec, const SweepCell& cell,
 
 CellResult make_failed_cell(const SweepSpec& spec, const SweepCell& cell,
                             std::string error) {
+  obs::trace_instant("exec", "cell_failed",
+                     {"index", std::uint64_t(cell.index)});
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "phonoc_exec_cells_failed_total",
+      "Sweep cells that failed and were materialized as failed results.");
+  counter.inc();
   CellResult failed;
   failed.cell = cell;
   failed.seed = spec.seeds[cell.seed];
@@ -234,16 +247,30 @@ BatchEngine::BatchEngine(BatchOptions options)
 }
 
 std::vector<CellResult> BatchEngine::run(const SweepSpec& spec) const {
+  obs::TraceSpan span("exec", "batch_run");
+  span.arg({"backend",
+            std::string_view(options_.backend == BatchBackend::ForkExec
+                                 ? "fork_exec"
+                                 : options_.backend == BatchBackend::Remote
+                                       ? "remote"
+                                       : "in_process")});
+  span.arg({"cells", std::uint64_t(cell_count(spec))});
+  static obs::Counter& sweeps = obs::MetricsRegistry::global().counter(
+      "phonoc_exec_sweeps_total", "Batch sweeps run, by backend.",
+      {{"backend", "in_process"}});
+
   if (options_.backend == BatchBackend::ForkExec)
     return run_fork_exec(spec, options_, workers_);
   if (options_.backend == BatchBackend::Remote)
     return run_remote(spec, options_);
+  sweeps.inc();
 
   const auto cells = expand(spec);
   const auto problems = build_sweep_problems(spec, cells);
   std::vector<CellResult> results(cells.size());
-  log_info() << "BatchEngine: " << cells.size() << " cells on " << workers_
-             << " worker(s), " << problems.size() << " shared problem(s)";
+  log_info("exec") << "BatchEngine: " << cells.size() << " cells on "
+                   << workers_ << " worker(s), " << problems.size()
+                   << " shared problem(s)";
 
   const auto problem_of = [&](const SweepCell& cell) -> const MappingProblem& {
     return *problems.at(

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "exec/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -90,6 +92,12 @@ SpawnOutcome spawn_slice(const std::string& worker_path,
                          const SweepSpec& spec,
                          const EvaluatorOptions& evaluator, std::size_t begin,
                          std::size_t end, std::vector<CellResult>& results) {
+  obs::TraceSpan span("exec", "spawn_slice");
+  span.arg({"begin", std::uint64_t(begin)});
+  span.arg({"end", std::uint64_t(end)});
+  static obs::Counter& spawns = obs::MetricsRegistry::global().counter(
+      "phonoc_exec_worker_spawns_total", "Worker processes forked.");
+  spawns.inc();
   int in_pipe[2];   // parent -> worker stdin
   int out_pipe[2];  // worker stdout -> parent
   if (::pipe(in_pipe) != 0)
@@ -163,6 +171,9 @@ SpawnOutcome spawn_slice(const std::string& worker_path,
   if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
     outcome.clean_exit = true;
   } else if (WIFSIGNALED(status)) {
+    obs::trace_instant("exec", "worker_crash",
+                       {"signal", std::int64_t(WTERMSIG(status))},
+                       {"received", std::uint64_t(outcome.cells_received)});
     outcome.death = std::string("worker killed by signal ") +
                     std::to_string(WTERMSIG(status)) + " (" +
                     ::strsignal(WTERMSIG(status)) + ")";
@@ -209,9 +220,16 @@ void run_slice(const std::string& worker_path, const SweepSpec& spec,
         mark_failed(results, spec, cells, next, outcome.death);
       return;
     }
-    log_info() << "ForkExec: " << outcome.death << "; cell " << next
-               << " marked failed, respawning for ["
-               << next + 1 << ", " << end << ")";
+    obs::trace_instant("exec", "worker_respawn",
+                       {"next", std::uint64_t(next + 1)},
+                       {"end", std::uint64_t(end)});
+    static obs::Counter& respawns = obs::MetricsRegistry::global().counter(
+        "phonoc_exec_worker_respawns_total",
+        "Worker processes respawned after a mid-slice death.");
+    respawns.inc();
+    log_info("exec") << "ForkExec: " << outcome.death << "; cell " << next
+                     << " marked failed, respawning for ["
+                     << next + 1 << ", " << end << ")";
     mark_failed(results, spec, cells, next, outcome.death);
     ++next;
   }
@@ -222,6 +240,10 @@ void run_slice(const std::string& worker_path, const SweepSpec& spec,
 std::vector<CellResult> run_fork_exec(const SweepSpec& spec,
                                       const BatchOptions& options,
                                       std::size_t workers) {
+  static obs::Counter& sweeps = obs::MetricsRegistry::global().counter(
+      "phonoc_exec_sweeps_total", "Batch sweeps run, by backend.",
+      {{"backend", "fork_exec"}});
+  sweeps.inc();
   const auto cells = expand(spec);
   std::vector<CellResult> results(cells.size());
   if (cells.empty()) return results;
@@ -236,9 +258,10 @@ std::vector<CellResult> run_fork_exec(const SweepSpec& spec,
 
   const std::size_t n_workers = std::min(
       std::max<std::size_t>(workers, 1), cells.size());
-  log_info() << "BatchEngine[fork/exec]: " << cells.size() << " cells on "
-             << n_workers << " worker process(es), worker binary '"
-             << worker_path << "'";
+  log_info("exec") << "BatchEngine[fork/exec]: " << cells.size()
+                   << " cells on " << n_workers
+                   << " worker process(es), worker binary '" << worker_path
+                   << "'";
 
   // Contiguous, balanced slices in grid order: slice i gets the cells
   // [i*base + min(i, rem), ...) — the first `rem` slices are one longer.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace phonoc {
@@ -9,6 +11,13 @@ namespace phonoc {
 namespace {
 /// How often a blocked acquire() re-examines the straggler clocks.
 constexpr auto kAcquirePollInterval = std::chrono::milliseconds(20);
+
+obs::Counter& units_counter(const char* path) {
+  static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  return registry.counter("phonoc_sched_units_total",
+                          "Work units acquired, by acquire path.",
+                          {{"path", path}});
+}
 }  // namespace
 
 HostPool::HostPool(std::vector<std::size_t> capacities, std::size_t cells,
@@ -102,7 +111,13 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
   while (!queues_[host].empty()) {
     WorkUnit unit = queues_[host].front();
     queues_[host].pop_front();
-    if (auto dispatched = dispatch(unit)) return dispatched;
+    if (auto dispatched = dispatch(unit)) {
+      obs::trace_instant("sched", "deal", {"host", std::uint64_t(host)},
+                         {"begin", std::uint64_t(dispatched->begin)},
+                         {"end", std::uint64_t(dispatched->end)});
+      units_counter("own").inc();
+      return dispatched;
+    }
   }
   // 2. Units bounced off a failed host.
   while (!retry_.empty()) {
@@ -110,6 +125,10 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
     retry_.pop_front();
     if (auto dispatched = dispatch(unit)) {
       ++counters_[host].retried_units;
+      obs::trace_instant("sched", "retry", {"host", std::uint64_t(host)},
+                         {"begin", std::uint64_t(dispatched->begin)},
+                         {"end", std::uint64_t(dispatched->end)});
+      units_counter("retry").inc();
       return dispatched;
     }
   }
@@ -128,6 +147,10 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
       queues_[richest].pop_back();
       if (auto dispatched = dispatch(unit)) {
         ++counters_[host].stolen_units;
+        obs::trace_instant("sched", "steal", {"host", std::uint64_t(host)},
+                           {"begin", std::uint64_t(dispatched->begin)},
+                           {"end", std::uint64_t(dispatched->end)});
+        units_counter("steal").inc();
         return dispatched;
       }
     }
@@ -147,6 +170,10 @@ std::optional<WorkUnit> HostPool::try_acquire_locked(std::size_t host) {
       flight.cloned = true;
       ++stats_.speculations;
       ++counters_[host].speculated_units;
+      obs::trace_instant("sched", "speculate", {"host", std::uint64_t(host)},
+                         {"begin", std::uint64_t(clone.begin)},
+                         {"end", std::uint64_t(clone.end)});
+      units_counter("speculate").inc();
       in_flight_[host] = InFlight{clone, now, false};
       return clone;
     }
@@ -180,9 +207,15 @@ bool HostPool::complete_cell(std::size_t index) {
   require(index < settled_.size(), "HostPool: cell index out of range");
   if (settled_[index]) {
     ++stats_.duplicates;
+    obs::trace_instant("sched", "dedup_drop", {"index", std::uint64_t(index)});
+    static obs::Counter& dropped = obs::MetricsRegistry::global().counter(
+        "phonoc_sched_dedup_drops_total",
+        "Duplicate cell answers dropped (first answer won).");
+    dropped.inc();
     return false;
   }
   settle_locked(index);
+  obs::trace_instant("sched", "settle", {"index", std::uint64_t(index)});
   return true;
 }
 

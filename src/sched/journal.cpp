@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "exec/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PHONOC_JOURNAL_POSIX 1
@@ -106,6 +108,10 @@ JournalReplay replay_journal(const std::string& path,
     fail(path, "truncated final record (after " + std::to_string(record) +
                    " complete record(s)) — the writer died mid-append; "
                    "remove the journal to start over");
+  static obs::Counter& replayed = obs::MetricsRegistry::global().counter(
+      "phonoc_sched_journal_replayed_total",
+      "Settled cells recovered from journal replay.");
+  replayed.inc(replay.cells.size());
   return replay;
 }
 
@@ -138,6 +144,11 @@ JournalWriter::~JournalWriter() {
 
 void JournalWriter::append(const std::string& cell_block) {
 #if PHONOC_JOURNAL_POSIX
+  obs::TraceSpan span("sched", "journal_append");
+  static obs::Counter& appended = obs::MetricsRegistry::global().counter(
+      "phonoc_sched_journal_appends_total",
+      "Accepted cell answers appended to the settled-cell journal.");
+  appended.inc();
   // One write(2) per record (O_APPEND, no userspace buffer): a SIGKILL
   // between appends leaves only whole records. A short write can still
   // tear a record (e.g. ENOSPC mid-frame) — the replay's checksum turns

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "exec/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/journal.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -92,6 +94,9 @@ enum class UnitOutcome { Done, HostDead, SweepSettled };
 UnitOutcome receive_unit(DriverContext& ctx, std::size_t host,
                          std::size_t expected, Connection& conn,
                          HostReport& report, std::string& death) {
+  obs::TraceSpan span("sched", "receive_unit");
+  span.arg({"host", std::uint64_t(host)});
+  span.arg({"expected", std::uint64_t(expected)});
   std::size_t received = 0;
   Timer silence;  // restarted on every frame: a hard *silence* deadline
   for (;;) {
@@ -183,6 +188,8 @@ UnitOutcome receive_unit(DriverContext& ctx, std::size_t host,
 /// a failed peer costs.
 bool handshake(const SchedulerOptions& options, Connection& conn,
                HostReport& report) {
+  obs::TraceSpan span("sched", "handshake");
+  span.arg({"endpoint", std::string_view(report.endpoint)});
   if (!conn.send(kSchedHello)) {
     report.error = "connection closed before the handshake";
     return false;
@@ -221,15 +228,15 @@ std::unique_ptr<Connection> connect_and_handshake(
     conn = transport.connect(report.endpoint);
   } catch (const std::exception& e) {
     report.error = e.what();
-    log_warning() << "sched: host '" << report.endpoint
-                  << "' unreachable: " << report.error;
+    log_warning("sched") << "sched: host '" << report.endpoint
+                         << "' unreachable: " << report.error;
     return nullptr;
   }
   if (!handshake(options, *conn, report)) {
     report.died = true;
     conn->close();
-    log_warning() << "sched: host '" << report.endpoint
-                  << "' lost: " << report.error;
+    log_warning("sched") << "sched: host '" << report.endpoint
+                         << "' lost: " << report.error;
     return nullptr;
   }
   return conn;
@@ -243,14 +250,23 @@ void drive_host(DriverContext ctx, std::size_t host, Connection& conn,
   const auto die = [&](const std::string& reason) {
     report.died = true;
     report.error = reason;
+    obs::trace_instant("sched", "host_lost", {"host", std::uint64_t(host)});
+    static obs::Counter& lost = obs::MetricsRegistry::global().counter(
+        "phonoc_sched_hosts_lost_total",
+        "Hosts that died mid-sweep (their work was recovered or abandoned).");
+    lost.inc();
     abandon(ctx, host, reason);
     ctx.pool.retire_host(host);
     conn.close();
-    log_warning() << "sched: host '" << report.endpoint
-                  << "' lost: " << reason;
+    log_warning("sched") << "sched: host '" << report.endpoint
+                         << "' lost: " << reason;
   };
 
   while (auto unit = ctx.pool.acquire(host)) {
+    obs::TraceSpan unit_span("sched", "unit");
+    unit_span.arg({"host", std::uint64_t(host)});
+    unit_span.arg({"begin", std::uint64_t(unit->begin)});
+    unit_span.arg({"end", std::uint64_t(unit->end)});
     if (!conn.send(
             complete_shard(ctx.shard_prefix, unit->begin, unit->end))) {
       die("connection closed while sending a shard");
@@ -285,6 +301,13 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   ScheduleResult outcome;
 
   const auto cells = expand(spec);
+  obs::TraceSpan sweep_span("sched", "sweep");
+  sweep_span.arg({"cells", std::uint64_t(cells.size())});
+  sweep_span.arg({"hosts", std::uint64_t(options_.hosts.size())});
+  static obs::Counter& sweeps = obs::MetricsRegistry::global().counter(
+      "phonoc_exec_sweeps_total", "Batch sweeps run, by backend.",
+      {{"backend", "remote"}});
+  sweeps.inc();
   outcome.results.resize(cells.size());
   outcome.cell_host.assign(cells.size(), kCellHostUnanswered);
 
@@ -322,8 +345,10 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   std::unique_ptr<JournalWriter> journal;
   JournalReplay replayed;
   if (!options_.journal_path.empty()) {
+    obs::TraceSpan replay_span("sched", "journal_replay");
     const std::uint64_t spec_hash = fnv1a64(prefix);
     replayed = replay_journal(options_.journal_path, spec_hash, cells.size());
+    replay_span.arg({"cells", std::uint64_t(replayed.cells.size())});
     journal = std::make_unique<JournalWriter>(options_.journal_path,
                                               spec_hash);
   }
@@ -376,15 +401,16 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   }
   outcome.journaled = replayed.cells.size();
   if (outcome.journaled > 0)
-    log_info() << "sched: journal '" << options_.journal_path
-               << "' replayed " << outcome.journaled << " settled cell(s) ("
-               << replayed.duplicates << " duplicate record(s) dropped)";
+    log_info("sched") << "sched: journal '" << options_.journal_path
+                      << "' replayed " << outcome.journaled
+                      << " settled cell(s) (" << replayed.duplicates
+                      << " duplicate record(s) dropped)";
 
-  log_info() << "sched: " << cells.size() << " cells over " << connected
-             << " of " << host_count << " host(s) (total capacity "
-             << total_capacity << "), " << options_.cells_per_shard
-             << " cell(s)/shard, " << options_.max_attempts
-             << " attempt(s)";
+  log_info("sched") << "sched: " << cells.size() << " cells over "
+                    << connected << " of " << host_count
+                    << " host(s) (total capacity " << total_capacity << "), "
+                    << options_.cells_per_shard << " cell(s)/shard, "
+                    << options_.max_attempts << " attempt(s)";
 
   const auto run_driver = [&](std::size_t h, HostSlot& slot) {
     DriverContext ctx{spec,
@@ -427,8 +453,8 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
     listener = std::make_unique<TcpListener>(
         static_cast<std::uint16_t>(options_.admit_port));
     admitting.store(true);
-    log_info() << "sched: admitting late workers on port "
-               << listener->port();
+    log_info("sched") << "sched: admitting late workers on port "
+                      << listener->port();
     if (options_.on_admit_port) options_.on_admit_port(listener->port());
     admitter = std::thread([&] {
       while (admitting.load()) {
@@ -442,8 +468,8 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
           HostReport probe;
           probe.endpoint = "admitted";
           if (!handshake(options_, *conn, probe)) {
-            log_warning() << "sched: rejected a late joiner: "
-                          << probe.error;
+            log_warning("sched") << "sched: rejected a late joiner: "
+                                 << probe.error;
             conn->close();
             continue;
           }
@@ -459,14 +485,24 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
           slot.report.admitted_late = true;
           slot.clock.restart();
           slot.conn = std::move(conn);
-          log_info() << "sched: admitted late worker '"
-                     << slot.report.endpoint << "' (capacity "
-                     << slot.report.capacity << ")";
+          obs::trace_instant("sched", "admit_host",
+                             {"host", std::uint64_t(h)},
+                             {"capacity",
+                              std::uint64_t(slot.report.capacity)});
+          static obs::Counter& admitted =
+              obs::MetricsRegistry::global().counter(
+                  "phonoc_sched_hosts_admitted_total",
+                  "Late workers admitted mid-sweep.");
+          admitted.inc();
+          log_info("sched") << "sched: admitted late worker '"
+                            << slot.report.endpoint << "' (capacity "
+                            << slot.report.capacity << ")";
           slot.driver =
               std::thread([&run_driver, h, &slot] { run_driver(h, slot); });
           slot.driver_started = true;
         } catch (const std::exception& e) {
-          log_warning() << "sched: admission loop failed: " << e.what();
+          log_warning("sched") << "sched: admission loop failed: "
+                               << e.what();
           break;
         }
       }
@@ -537,15 +573,43 @@ ScheduleResult Scheduler::run(const SweepSpec& spec) const {
   outcome.pool = pool.stats();
   outcome.wall_seconds = wall.elapsed_seconds();
   for (const auto& host : outcome.hosts)
-    log_info() << "sched: host '" << host.endpoint << "' "
-               << (host.connected ? (host.died ? "died" : "ok") : "unreachable")
-               << " (capacity " << host.capacity << "): "
-               << host.shards << " shard(s), " << host.cells_ok
-               << " ok, " << host.cells_failed << " failed, "
-               << host.duplicates << " duplicate(s), "
-               << format_fixed(host.cpu_seconds, 2) << " s cpu / "
-               << format_fixed(host.wall_seconds, 2) << " s wall";
+    log_info("sched")
+        << "sched: host '" << host.endpoint << "' "
+        << (host.connected ? (host.died ? "died" : "ok") : "unreachable")
+        << " (capacity " << host.capacity << "): " << host.shards
+        << " shard(s), " << host.cells_ok << " ok, " << host.cells_failed
+        << " failed, " << host.duplicates << " duplicate(s), "
+        << format_fixed(host.cpu_seconds, 2) << " s cpu / "
+        << format_fixed(host.wall_seconds, 2) << " s wall";
   return outcome;
+}
+
+std::string host_report_csv(const ScheduleResult& outcome) {
+  std::ostringstream out;
+  out << "endpoint,connected,died,admitted_late,capacity,shards,cells_ok,"
+         "cells_failed,duplicates,steals,retries,speculations,"
+         "cpu_seconds,wall_seconds,error\n";
+  for (const auto& host : outcome.hosts) {
+    // The error text is free-form (strerror, exception messages): CSV-
+    // quote it and double any embedded quotes.
+    std::string error = host.error;
+    std::string quoted;
+    quoted.reserve(error.size() + 2);
+    quoted += '"';
+    for (const char c : error) {
+      if (c == '"') quoted += '"';
+      quoted += c == '\n' ? ' ' : c;
+    }
+    quoted += '"';
+    out << host.endpoint << ',' << (host.connected ? 1 : 0) << ','
+        << (host.died ? 1 : 0) << ',' << (host.admitted_late ? 1 : 0) << ','
+        << host.capacity << ',' << host.shards << ',' << host.cells_ok << ','
+        << host.cells_failed << ',' << host.duplicates << ',' << host.steals
+        << ',' << host.retries << ',' << host.speculations << ','
+        << format_double(host.cpu_seconds) << ','
+        << format_double(host.wall_seconds) << ',' << quoted << '\n';
+  }
+  return out.str();
 }
 
 SweepReport merge_host_reports(const SweepSpec& spec,

@@ -160,6 +160,11 @@ class Scheduler {
 [[nodiscard]] SweepReport merge_host_reports(const SweepSpec& spec,
                                              const ScheduleResult& outcome);
 
+/// Render every HostReport of a fleet outcome as CSV (header row +
+/// one row per host, configured fleet first then late joiners) — the
+/// body behind `parallel_sweep --host-report-csv=FILE`.
+[[nodiscard]] std::string host_report_csv(const ScheduleResult& outcome);
+
 /// BatchEngine's BatchBackend::Remote entry point: a Scheduler built
 /// from BatchOptions (endpoints from remote_hosts, default transport),
 /// returning grid-ordered results like every other backend.

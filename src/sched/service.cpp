@@ -16,6 +16,8 @@
 #include "exec/batch_engine.hpp"
 #include "exec/serialize.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -26,7 +28,7 @@ namespace {
 /// peer may already be gone).
 std::size_t protocol_error(Connection& conn, std::size_t cells_served,
                            const std::string& message) {
-  log_warning() << "sched service: " << message;
+  log_warning("sched") << "sched service: " << message;
   (void)conn.send(std::string(kSchedErrorPrefix) + " " + message);
   return cells_served;
 }
@@ -120,8 +122,8 @@ class CellWriter {
             static_cast<std::size_t>(options_.crash_after_cells)) {
       // Injected worker death: die the hard way, mid-sweep, with every
       // already-sent frame intact on the wire.
-      log_warning() << "sched service: injected crash after "
-                    << cells_served_ << " cell(s)";
+      log_warning("sched") << "sched service: injected crash after "
+                           << cells_served_ << " cell(s)";
       std::abort();
     }
     return true;
@@ -206,6 +208,13 @@ std::size_t serve_connection(Connection& conn, const ServiceOptions& options) {
                             std::string("unreadable shard: ") + e.what());
     }
 
+    obs::TraceSpan shard_span("sched", "serve_shard");
+    shard_span.arg({"begin", std::uint64_t(shard.begin)});
+    shard_span.arg({"end", std::uint64_t(shard.end)});
+    static obs::Counter& shards = obs::MetricsRegistry::global().counter(
+        "phonoc_sched_shards_served_total",
+        "Shards executed by the worker-daemon service loop.");
+    shards.inc();
     try {
       cache.adopt(shard, request.payload);
       if (shard.end > cache.cells.size())

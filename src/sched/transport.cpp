@@ -304,29 +304,35 @@ std::unique_ptr<Connection> TcpListener::accept() {
 }
 
 std::unique_ptr<Connection> TcpListener::accept_for(double timeout_seconds) {
+  const int fd = accept_fd_for(timeout_seconds);
+  if (fd < 0) return nullptr;
+  return make_fd_connection(fd);
+}
+
+int TcpListener::accept_fd_for(double timeout_seconds) {
   Timer timer;
   for (;;) {
     int poll_ms = -1;
     if (timeout_seconds > 0.0) {
       const double remaining = timeout_seconds - timer.elapsed_seconds();
-      if (remaining <= 0.0) return nullptr;
+      if (remaining <= 0.0) return -1;
       poll_ms = static_cast<int>(remaining * 1e3) + 1;
     }
     struct pollfd pfd {fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, poll_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return nullptr;
+      return -1;
     }
-    if (ready == 0) return nullptr;  // timeout
+    if (ready == 0) return -1;  // timeout
     const int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd >= 0) return make_fd_connection(fd);
+    if (fd >= 0) return fd;
     // A dial that vanished between poll and accept (ECONNABORTED and
     // friends) is not worth reporting; wait for the next one.
     if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
         errno == EWOULDBLOCK)
       continue;
-    return nullptr;
+    return -1;
   }
 }
 
@@ -357,6 +363,7 @@ TcpListener::TcpListener(std::uint16_t) { no_sockets(); }
 TcpListener::~TcpListener() = default;
 std::unique_ptr<Connection> TcpListener::accept() { no_sockets(); }
 std::unique_ptr<Connection> TcpListener::accept_for(double) { no_sockets(); }
+int TcpListener::accept_fd_for(double) { no_sockets(); }
 
 #endif
 

@@ -143,6 +143,11 @@ class TcpListener {
   /// (the scheduler's dynamic-admission loop).
   [[nodiscard]] std::unique_ptr<Connection> accept_for(
       double timeout_seconds);
+  /// Like accept_for() but hands back the raw accepted descriptor
+  /// (caller owns it; -1 on timeout/error) instead of wrapping it in a
+  /// framed Connection. For byte-oriented peers that do not speak the
+  /// frame protocol — the obs/prom_http plain-HTTP scrape listener.
+  [[nodiscard]] int accept_fd_for(double timeout_seconds);
 
  private:
   int fd_ = -1;

@@ -7,11 +7,40 @@
 #include <vector>
 
 #include "mapping/mapping.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace phonoc {
+
+namespace {
+
+/// Instrumentation counters of the admit -> queue -> execute -> stream
+/// path (process-wide registry; the framed snapshot counters stay in
+/// ServiceMetrics). Registered once, bumped with one relaxed atomic.
+obs::Counter& admitted_counter() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "phonoc_service_admitted_total", "Requests admitted by the broker.");
+  return counter;
+}
+
+obs::Counter& shed_counter(const char* kind) {
+  static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  return registry.counter("phonoc_service_sheds_total",
+                          "Requests shed at or after admission, by kind.",
+                          {{"kind", kind}});
+}
+
+obs::Counter& cells_counter(const char* status) {
+  static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  return registry.counter("phonoc_service_cells_total",
+                          "Cells streamed by the broker, by status.",
+                          {{"status", status}});
+}
+
+}  // namespace
 
 RequestBroker::RequestBroker(BrokerOptions options)
     : options_(std::move(options)), cache_(options_.cache) {
@@ -36,16 +65,24 @@ RequestBroker::~RequestBroker() {
 }
 
 Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
+  obs::TraceSpan span("service", "admit");
+  span.arg({"id", std::string_view(request.id)});
   Submission outcome;
   outcome.cells = cell_count(request.spec);
   if (outcome.cells == 0) {
     metrics_.on_malformed();
+    shed_counter("malformed").inc();
+    obs::trace_instant("service", "shed", {"id", std::string_view(request.id)},
+                       {"kind", std::string_view("malformed")});
     outcome.kind = RejectKind::Malformed;
     outcome.reason = "the sweep grid is empty (a dimension has no values)";
     return outcome;
   }
   if (request.max_cells != 0 && outcome.cells > request.max_cells) {
     metrics_.on_shed_budget();
+    shed_counter("budget").inc();
+    obs::trace_instant("service", "shed", {"id", std::string_view(request.id)},
+                       {"kind", std::string_view("budget")});
     outcome.kind = RejectKind::Budget;
     outcome.reason = "grid has " + std::to_string(outcome.cells) +
                      " cells, the request allows max_cells=" +
@@ -55,6 +92,9 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
   if (options_.max_cells_per_request != 0 &&
       outcome.cells > options_.max_cells_per_request) {
     metrics_.on_shed_budget();
+    shed_counter("budget").inc();
+    obs::trace_instant("service", "shed", {"id", std::string_view(request.id)},
+                       {"kind", std::string_view("budget")});
     outcome.kind = RejectKind::Budget;
     outcome.reason = "grid has " + std::to_string(outcome.cells) +
                      " cells, the server caps requests at " +
@@ -65,12 +105,20 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) {
       metrics_.on_shed_shutdown();
+      shed_counter("shutdown").inc();
+      obs::trace_instant("service", "shed",
+                         {"id", std::string_view(request.id)},
+                         {"kind", std::string_view("shutdown")});
       outcome.kind = RejectKind::Shutdown;
       outcome.reason = "service is shutting down";
       return outcome;
     }
     if (queue_.size() >= options_.max_queue_depth) {
       metrics_.on_shed_overloaded();
+      shed_counter("overloaded").inc();
+      obs::trace_instant("service", "shed",
+                         {"id", std::string_view(request.id)},
+                         {"kind", std::string_view("overloaded")});
       outcome.kind = RejectKind::Overloaded;
       outcome.reason = "admission queue is full (" +
                        std::to_string(queue_.size()) + " request(s) waiting)";
@@ -80,6 +128,10 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
     if (options_.max_outstanding_cells != 0 &&
         outstanding + outcome.cells > options_.max_outstanding_cells) {
       metrics_.on_shed_overloaded();
+      shed_counter("overloaded").inc();
+      obs::trace_instant("service", "shed",
+                         {"id", std::string_view(request.id)},
+                         {"kind", std::string_view("overloaded")});
       outcome.kind = RejectKind::Overloaded;
       outcome.reason =
           std::to_string(outstanding) + " cell(s) outstanding; " +
@@ -93,6 +145,11 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
     job.cells = outcome.cells;
     queued_cells_ += job.cells;
     metrics_.on_accepted();
+    admitted_counter().inc();
+    obs::trace_instant("service", "queue",
+                       {"id", std::string_view(job.request.id)},
+                       {"cells", std::uint64_t(job.cells)},
+                       {"depth", std::uint64_t(queue_.size())});
     // Announce under the lock: the `accepted` frame must be on the wire
     // before the execution thread can dequeue the job and stream cells.
     if (job.events.on_accepted) job.events.on_accepted(job.cells);
@@ -149,6 +206,11 @@ MetricsSnapshot RequestBroker::metrics() const {
   return snap;
 }
 
+std::string RequestBroker::prometheus_text() const {
+  return metrics().to_prometheus() +
+         obs::MetricsRegistry::global().render_prometheus();
+}
+
 void RequestBroker::pause() {
   const std::lock_guard<std::mutex> lock(mutex_);
   paused_ = true;
@@ -196,12 +258,19 @@ void RequestBroker::run_loop() {
 }
 
 void RequestBroker::execute(Job& job) {
+  obs::TraceSpan span("service", "execute");
+  span.arg({"id", std::string_view(job.request.id)});
+  span.arg({"cells", std::uint64_t(job.cells)});
   const double deadline = job.request.deadline_seconds;
   const double waited = job.queued.elapsed_seconds();
   if (deadline > 0.0 && waited > deadline) {
     // Shed stale work instead of running it: the client stopped caring
     // `waited - deadline` seconds ago.
     metrics_.on_shed_deadline();
+    shed_counter("deadline").inc();
+    obs::trace_instant("service", "shed",
+                       {"id", std::string_view(job.request.id)},
+                       {"kind", std::string_view("deadline")});
     if (job.events.on_reject)
       job.events.on_reject(RejectKind::Deadline,
                            "deadline of " + format_double(deadline) +
@@ -226,8 +295,8 @@ void RequestBroker::execute(Job& job) {
   } catch (const std::exception& e) {
     // Request-level failure (problem construction, a dead backend):
     // answer it; the daemon and the other requests keep going.
-    log_warning() << "service broker: request '" << job.request.id
-                  << "' failed: " << e.what();
+    log_warning("service") << "service broker: request '" << job.request.id
+                           << "' failed: " << e.what();
     metrics_.on_request_failed();
     if (job.events.on_reject)
       job.events.on_reject(RejectKind::Internal, e.what());
@@ -268,10 +337,13 @@ void RequestBroker::execute_in_process(Job& job, bool& canceled,
       CellResult result = run_cell(spec, cell, *problem, key);
       const std::lock_guard<std::mutex> lock(stream_mutex);
       if (!cancel.load(std::memory_order_relaxed)) {
-        if (result.status == CellStatus::Ok)
+        if (result.status == CellStatus::Ok) {
           ++ok;
-        else
+          cells_counter("ok").inc();
+        } else {
           ++failed;
+          cells_counter("failed").inc();
+        }
         if (job.events.on_cell && !job.events.on_cell(result))
           cancel.store(true);
       }
@@ -299,10 +371,13 @@ void RequestBroker::execute_batch(Job& job, bool& canceled, std::size_t& ok,
   const auto results = engine.run(job.request.spec);
   for (const auto& result : results) {
     if (!canceled) {
-      if (result.status == CellStatus::Ok)
+      if (result.status == CellStatus::Ok) {
         ++ok;
-      else
+        cells_counter("ok").inc();
+      } else {
         ++failed;
+        cells_counter("failed").inc();
+      }
       if (job.events.on_cell && !job.events.on_cell(result)) canceled = true;
     }
     finish_cell();
@@ -313,6 +388,8 @@ CellResult RequestBroker::run_cell(const SweepSpec& spec,
                                    const SweepCell& cell,
                                    const MappingProblem& problem,
                                    const std::string& key) {
+  obs::TraceSpan span("service", "cell");
+  span.arg({"index", std::uint64_t(cell.index)});
   if (spec.task_kind == SweepTaskKind::Sample) {
     // Sampling scores through evaluate_raw, which bypasses the memo:
     // nothing to seed or harvest, and the counters stay untouched.

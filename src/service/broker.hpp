@@ -120,6 +120,12 @@ class RequestBroker {
   /// Current metrics (counters + live gauges + cache counters).
   [[nodiscard]] MetricsSnapshot metrics() const;
 
+  /// Prometheus exposition body: the snapshot's phonocd_* families plus
+  /// the process-wide obs::MetricsRegistry (phonoc_* instrumentation).
+  /// Served by both the framed `stats prometheus` request and the
+  /// --prom-port HTTP listener.
+  [[nodiscard]] std::string prometheus_text() const;
+
   /// Direct metric feeds for connection-level events the broker cannot
   /// see itself.
   ServiceMetrics& raw_metrics() noexcept { return metrics_; }

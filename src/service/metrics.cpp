@@ -2,61 +2,159 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace phonoc {
 namespace {
 
-template <typename Emit>
-void each_metric(const MetricsSnapshot& s, Emit&& emit) {
-  emit("queue_depth", std::to_string(s.queue_depth));
-  emit("in_flight_cells", std::to_string(s.in_flight_cells));
-  emit("uptime_seconds", format_double(s.uptime_seconds));
-  emit("connections", std::to_string(s.connections));
-  emit("requests_accepted", std::to_string(s.requests_accepted));
-  emit("requests_completed", std::to_string(s.requests_completed));
-  emit("requests_failed", std::to_string(s.requests_failed));
-  emit("requests_canceled", std::to_string(s.requests_canceled));
-  emit("shed_overloaded", std::to_string(s.shed_overloaded));
-  emit("shed_budget", std::to_string(s.shed_budget));
-  emit("shed_deadline", std::to_string(s.shed_deadline));
-  emit("shed_shutdown", std::to_string(s.shed_shutdown));
-  emit("requests_malformed", std::to_string(s.requests_malformed));
-  emit("stats_requests", std::to_string(s.stats_requests));
-  emit("single_evaluations", std::to_string(s.single_evaluations));
-  emit("cells_ok", std::to_string(s.cells_ok));
-  emit("cells_failed", std::to_string(s.cells_failed));
-  emit("evaluator_cache_hits", std::to_string(s.evaluator_cache_hits));
-  emit("evaluator_cache_misses", std::to_string(s.evaluator_cache_misses));
-  emit("evaluator_cache_evictions",
-       std::to_string(s.evaluator_cache_evictions));
-  emit("problem_cache_hits", std::to_string(s.problem_cache_hits));
-  emit("problem_cache_misses", std::to_string(s.problem_cache_misses));
-  emit("problem_cache_evictions", std::to_string(s.problem_cache_evictions));
-  emit("wall_p50_seconds", format_double(s.wall_p50_seconds));
-  emit("wall_p90_seconds", format_double(s.wall_p90_seconds));
-  emit("wall_p99_seconds", format_double(s.wall_p99_seconds));
-  emit("wall_max_seconds", format_double(s.wall_max_seconds));
-  emit("wall_mean_seconds", format_double(s.wall_mean_seconds));
+/// One row of the metric-descriptor table. Every rendering — the framed
+/// `stats` text, the --stats-csv dump and the Prometheus exposition —
+/// walks this table, so adding a field here is the single step that
+/// keeps all three surfaces in sync (to_text/to_csv drifted apart when
+/// they were separate hand-rolled lists).
+struct MetricDescriptor {
+  enum class Kind { Counter, Gauge };
+  const char* name;  ///< snake_case; Prometheus prefixes `phonocd_`
+  Kind kind;
+  const char* help;
+  bool integral;  ///< integral values render without a decimal point
+  double (*value)(const MetricsSnapshot&);
+};
+
+constexpr MetricDescriptor kMetricTable[] = {
+    {"queue_depth", MetricDescriptor::Kind::Gauge,
+     "Requests admitted but not yet executing.", true,
+     [](const MetricsSnapshot& s) { return double(s.queue_depth); }},
+    {"in_flight_cells", MetricDescriptor::Kind::Gauge,
+     "Sweep cells currently executing.", true,
+     [](const MetricsSnapshot& s) { return double(s.in_flight_cells); }},
+    {"uptime_seconds", MetricDescriptor::Kind::Gauge,
+     "Seconds since the broker started.", false,
+     [](const MetricsSnapshot& s) { return s.uptime_seconds; }},
+    {"connections", MetricDescriptor::Kind::Counter,
+     "Client connections accepted.", true,
+     [](const MetricsSnapshot& s) { return double(s.connections); }},
+    {"requests_accepted", MetricDescriptor::Kind::Counter,
+     "Requests past admission control.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_accepted); }},
+    {"requests_completed", MetricDescriptor::Kind::Counter,
+     "Requests that ran to completion.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_completed); }},
+    {"requests_failed", MetricDescriptor::Kind::Counter,
+     "Accepted requests that died executing.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_failed); }},
+    {"requests_canceled", MetricDescriptor::Kind::Counter,
+     "Requests whose client vanished mid-stream.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_canceled); }},
+    {"shed_overloaded", MetricDescriptor::Kind::Counter,
+     "Requests shed: admission queue full.", true,
+     [](const MetricsSnapshot& s) { return double(s.shed_overloaded); }},
+    {"shed_budget", MetricDescriptor::Kind::Counter,
+     "Requests shed: cell budget exceeded.", true,
+     [](const MetricsSnapshot& s) { return double(s.shed_budget); }},
+    {"shed_deadline", MetricDescriptor::Kind::Counter,
+     "Requests shed: deadline passed while queued.", true,
+     [](const MetricsSnapshot& s) { return double(s.shed_deadline); }},
+    {"shed_shutdown", MetricDescriptor::Kind::Counter,
+     "Requests shed: broker draining for shutdown.", true,
+     [](const MetricsSnapshot& s) { return double(s.shed_shutdown); }},
+    {"requests_malformed", MetricDescriptor::Kind::Counter,
+     "Frames that failed to parse as requests.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_malformed); }},
+    {"stats_requests", MetricDescriptor::Kind::Counter,
+     "Stats scrapes served (framed and HTTP).", true,
+     [](const MetricsSnapshot& s) { return double(s.stats_requests); }},
+    {"single_evaluations", MetricDescriptor::Kind::Counter,
+     "Single-mapping evaluation requests served.", true,
+     [](const MetricsSnapshot& s) { return double(s.single_evaluations); }},
+    {"cells_ok", MetricDescriptor::Kind::Counter,
+     "Sweep cells that evaluated successfully.", true,
+     [](const MetricsSnapshot& s) { return double(s.cells_ok); }},
+    {"cells_failed", MetricDescriptor::Kind::Counter,
+     "Sweep cells that failed to evaluate.", true,
+     [](const MetricsSnapshot& s) { return double(s.cells_failed); }},
+    {"evaluator_cache_hits", MetricDescriptor::Kind::Counter,
+     "Evaluator pool cache hits.", true,
+     [](const MetricsSnapshot& s) { return double(s.evaluator_cache_hits); }},
+    {"evaluator_cache_misses", MetricDescriptor::Kind::Counter,
+     "Evaluator pool cache misses.", true,
+     [](const MetricsSnapshot& s) {
+       return double(s.evaluator_cache_misses);
+     }},
+    {"evaluator_cache_evictions", MetricDescriptor::Kind::Counter,
+     "Evaluator pool cache evictions.", true,
+     [](const MetricsSnapshot& s) {
+       return double(s.evaluator_cache_evictions);
+     }},
+    {"problem_cache_hits", MetricDescriptor::Kind::Counter,
+     "Parsed-problem cache hits.", true,
+     [](const MetricsSnapshot& s) { return double(s.problem_cache_hits); }},
+    {"problem_cache_misses", MetricDescriptor::Kind::Counter,
+     "Parsed-problem cache misses.", true,
+     [](const MetricsSnapshot& s) { return double(s.problem_cache_misses); }},
+    {"problem_cache_evictions", MetricDescriptor::Kind::Counter,
+     "Parsed-problem cache evictions.", true,
+     [](const MetricsSnapshot& s) {
+       return double(s.problem_cache_evictions);
+     }},
+    {"wall_p50_seconds", MetricDescriptor::Kind::Gauge,
+     "Median wall time of completed requests.", false,
+     [](const MetricsSnapshot& s) { return s.wall_p50_seconds; }},
+    {"wall_p90_seconds", MetricDescriptor::Kind::Gauge,
+     "90th-percentile wall time of completed requests.", false,
+     [](const MetricsSnapshot& s) { return s.wall_p90_seconds; }},
+    {"wall_p99_seconds", MetricDescriptor::Kind::Gauge,
+     "99th-percentile wall time of completed requests.", false,
+     [](const MetricsSnapshot& s) { return s.wall_p99_seconds; }},
+    {"wall_max_seconds", MetricDescriptor::Kind::Gauge,
+     "Slowest completed request.", false,
+     [](const MetricsSnapshot& s) { return s.wall_max_seconds; }},
+    {"wall_mean_seconds", MetricDescriptor::Kind::Gauge,
+     "Mean wall time of completed requests.", false,
+     [](const MetricsSnapshot& s) { return s.wall_mean_seconds; }},
+};
+
+std::string plain_value(const MetricDescriptor& metric,
+                        const MetricsSnapshot& snapshot) {
+  const double value = metric.value(snapshot);
+  if (metric.integral) return std::to_string(std::uint64_t(value));
+  return format_double(value);
 }
 
 }  // namespace
 
 std::string MetricsSnapshot::to_text() const {
   std::ostringstream out;
-  each_metric(*this, [&](const char* name, const std::string& value) {
-    out << name << ' ' << value << '\n';
-  });
+  for (const auto& metric : kMetricTable)
+    out << metric.name << ' ' << plain_value(metric, *this) << '\n';
   return out.str();
 }
 
 std::string MetricsSnapshot::to_csv() const {
   std::ostringstream out;
   out << "metric,value\n";
-  each_metric(*this, [&](const char* name, const std::string& value) {
-    out << name << ',' << value << '\n';
-  });
+  for (const auto& metric : kMetricTable)
+    out << metric.name << ',' << plain_value(metric, *this) << '\n';
   return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& metric : kMetricTable) {
+    const std::string name = std::string("phonocd_") + metric.name;
+    const bool counter = metric.kind == MetricDescriptor::Kind::Counter;
+    obs::append_prometheus_header(out, name, metric.help,
+                                  counter ? "counter" : "gauge");
+    if (metric.integral) {
+      obs::append_prometheus_sample(out, name, std::string(),
+                                    std::uint64_t(metric.value(*this)));
+    } else {
+      obs::append_prometheus_sample(out, name, std::string(),
+                                    metric.value(*this));
+    }
+  }
+  return out;
 }
 
 ServiceMetrics::ServiceMetrics() = default;

@@ -61,6 +61,12 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_text() const;
   /// `metric,value` CSV with a header row (the --stats-csv dump).
   [[nodiscard]] std::string to_csv() const;
+  /// Prometheus text exposition (`# HELP`/`# TYPE` + samples) with a
+  /// `phonocd_` name prefix — the body of the framed `stats prometheus`
+  /// reply and the `--prom-port` HTTP scrape. All three renderings are
+  /// generated from one metric-descriptor table (metrics.cpp), so they
+  /// cannot drift apart again.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// Thread-safe metric accumulator (one per broker). All methods may be

@@ -54,6 +54,11 @@ inline constexpr const char* kServiceHello = "hello phonoc-service v1";
 inline constexpr const char* kServiceQuit = "quit";
 /// Metrics snapshot request (no arguments).
 inline constexpr const char* kServiceStats = "stats";
+/// Metrics in Prometheus text exposition format: the phonocd snapshot
+/// (phonocd_* families) plus the process-wide obs::MetricsRegistry
+/// (phonoc_* instrumentation counters). Same `stats\n<body>` reply
+/// frame, different body grammar.
+inline constexpr const char* kServiceStatsPrometheus = "stats prometheus";
 
 /// Why the broker refused a request (the token after `rejected <id>`).
 enum class RejectKind {

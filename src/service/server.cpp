@@ -139,6 +139,13 @@ std::size_t serve_client(Connection& conn, RequestBroker& broker,
       continue;
     }
 
+    if (request.payload == kServiceStatsPrometheus) {
+      ++handled;
+      broker.raw_metrics().on_stats_request();
+      (void)writer->send(stats_reply(broker.prometheus_text()));
+      continue;
+    }
+
     if (starts_with(request.payload, "evaluate ")) {
       ++handled;
       std::string id = salvage_id(request.payload);
@@ -260,7 +267,8 @@ void ServiceServer::run(std::size_t max_connections) {
       try {
         (void)serve_client(*shared, broker_, options_);
       } catch (const std::exception& e) {
-        log_warning() << "service server: connection died: " << e.what();
+        log_warning("service") << "service server: connection died: "
+                               << e.what();
       }
       shared->close();
       done->store(true);
