@@ -14,6 +14,11 @@
 #   bench/BENCH_trace_overhead.json flight-recorder overhead on the
 #                                   reference-CG evaluation hot path
 #                                   (tracing disabled must be <1%)
+#   bench/BENCH_service_throughput.json  interactive latency under a
+#                                   mixed service workload: FIFO
+#                                   baseline vs the weighted-fair
+#                                   broker at concurrency 1/2/4
+#                                   (interactive p99 must improve >=2x)
 #
 # Usage: bench/update_snapshots.sh [build-dir]   (default: ./build)
 #
@@ -46,6 +51,15 @@ PHONOC_SWEEP_EVALS=800 "$build/bench_parallel_sweep" \
 
 "$build/bench_trace_overhead" --json=bench/BENCH_trace_overhead.json
 
+# Mixed service workload (a few heavy sweeps + an interactive burst
+# from several clients) through a paused broker, one pass per
+# scheduling policy. The FIFO pass is the pre-pool baseline; the drr
+# passes sweep the broker worker pool through 1/2/4.
+"$build/bench_service_throughput" \
+  --concurrency=1,2,4 \
+  --json=bench/BENCH_service_throughput.json
+
 echo "snapshots updated:"
 ls -l bench/BENCH_eval_micro.json bench/BENCH_batch_eval.json \
-  bench/BENCH_parallel_sweep.json bench/BENCH_trace_overhead.json
+  bench/BENCH_parallel_sweep.json bench/BENCH_trace_overhead.json \
+  bench/BENCH_service_throughput.json

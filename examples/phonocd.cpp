@@ -19,7 +19,17 @@
 ///   --backend=thread|fork|remote   execution backend
 ///   --worker=PATH         fork backend: phonoc_worker binary
 ///   --hosts=EP1,EP2,...   remote backend: phonoc_workerd endpoints
+///   --request-concurrency=N  requests executing concurrently (broker
+///                         worker pool size; 0 = hardware threads,
+///                         1 = the old one-at-a-time behavior)
 ///   --max-queue=N         admission queue depth (default 8)
+///   --max-queue-per-client=N  requests one client may have queued
+///                         (default 0 = no per-client cap)
+///   --interactive-cells=N  lane routing threshold: auto-priority
+///                         requests with at most N cells take the
+///                         interactive lane (default 4)
+///   --drr-quantum=N       deficit-round-robin quantum in cells
+///                         (default 32)
 ///   --max-outstanding-cells=N  outstanding-cell cap (default 4096,
 ///                         0 = uncapped)
 ///   --max-cells=N         per-request grid cap (default 0 = uncapped)
@@ -78,8 +88,20 @@ int main(int argc, char** argv) {
     std::cerr << "error: --backend must be 'thread', 'fork' or 'remote'\n";
     return 1;
   }
+  broker.request_concurrency =
+      static_cast<std::size_t>(cli.get_int("request-concurrency", 0));
   broker.max_queue_depth =
       static_cast<std::size_t>(cli.get_int("max-queue", 8));
+  broker.max_queue_per_client =
+      static_cast<std::size_t>(cli.get_int("max-queue-per-client", 0));
+  broker.interactive_cell_threshold = static_cast<std::size_t>(
+      cli.get_int("interactive-cells",
+                  static_cast<std::int64_t>(
+                      BrokerOptions{}.interactive_cell_threshold)));
+  broker.drr_quantum_cells = static_cast<std::size_t>(
+      cli.get_int("drr-quantum",
+                  static_cast<std::int64_t>(
+                      BrokerOptions{}.drr_quantum_cells)));
   broker.max_outstanding_cells =
       static_cast<std::size_t>(cli.get_int("max-outstanding-cells", 4096));
   broker.max_cells_per_request =
@@ -105,7 +127,9 @@ int main(int argc, char** argv) {
     ServiceServer server(port, broker, server_options);
     std::cout << "phonocd: listening on 127.0.0.1:" << server.port()
               << " (backend=" << backend_name
-              << ", queue=" << broker.max_queue_depth << ")" << std::endl;
+              << ", queue=" << broker.max_queue_depth
+              << ", request-concurrency="
+              << server.broker().worker_count() << ")" << std::endl;
     std::optional<obs::PromHttpServer> prom;
     if (cli.has("prom-port")) {
       prom.emplace(static_cast<std::uint16_t>(cli.get_int("prom-port", 0)),

@@ -40,10 +40,26 @@ obs::Counter& cells_counter(const char* status) {
                           {{"status", status}});
 }
 
+obs::Counter& lane_counter(const char* lane) {
+  static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  return registry.counter("phonoc_service_lane_total",
+                          "Requests admitted by the broker, by lane.",
+                          {{"lane", lane}});
+}
+
+obs::Gauge& in_flight_gauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
+      "phonoc_service_in_flight_requests",
+      "Requests currently executing on broker workers.");
+  return gauge;
+}
+
 }  // namespace
 
 RequestBroker::RequestBroker(BrokerOptions options)
-    : options_(std::move(options)), cache_(options_.cache) {
+    : options_(std::move(options)),
+      cache_(options_.cache),
+      sched_(options_.drr_quantum_cells) {
   paused_ = options_.start_paused;
   if (options_.batch.backend == BatchBackend::InProcess) {
     std::size_t workers = options_.batch.workers != 0
@@ -52,7 +68,14 @@ RequestBroker::RequestBroker(BrokerOptions options)
     workers = std::min(workers, ThreadPool::kMaxWorkers);
     if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
   }
-  exec_thread_ = std::thread([this] { run_loop(); });
+  std::size_t brokers = options_.request_concurrency != 0
+                            ? options_.request_concurrency
+                            : ThreadPool::default_worker_count();
+  brokers = std::max<std::size_t>(
+      1, std::min(brokers, ThreadPool::kMaxWorkers));
+  workers_.reserve(brokers);
+  for (std::size_t i = 0; i < brokers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
 }
 
 RequestBroker::~RequestBroker() {
@@ -61,10 +84,25 @@ RequestBroker::~RequestBroker() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  if (exec_thread_.joinable()) exec_thread_.join();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  // Shutdown drain: nothing queued may be silently dropped. With the
+  // workers joined nobody races the scheduler any more.
+  std::vector<Job> leftovers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    leftovers = sched_.drain();
+    queued_cells_ = 0;
+  }
+  for (auto& job : leftovers) {
+    metrics_.on_shed_shutdown();
+    if (job.events.on_reject)
+      job.events.on_reject(RejectKind::Shutdown, "service is shutting down");
+  }
 }
 
-Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
+Submission RequestBroker::submit(ServiceRequest request, JobEvents events,
+                                 const std::string& client) {
   obs::TraceSpan span("service", "admit");
   span.arg({"id", std::string_view(request.id)});
   Submission outcome;
@@ -113,7 +151,7 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
       outcome.reason = "service is shutting down";
       return outcome;
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    if (sched_.size() >= options_.max_queue_depth) {
       metrics_.on_shed_overloaded();
       shed_counter("overloaded").inc();
       obs::trace_instant("service", "shed",
@@ -121,7 +159,21 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
                          {"kind", std::string_view("overloaded")});
       outcome.kind = RejectKind::Overloaded;
       outcome.reason = "admission queue is full (" +
-                       std::to_string(queue_.size()) + " request(s) waiting)";
+                       std::to_string(sched_.size()) + " request(s) waiting)";
+      return outcome;
+    }
+    if (options_.max_queue_per_client != 0 &&
+        sched_.client_depth(client) >= options_.max_queue_per_client) {
+      metrics_.on_shed_per_client();
+      shed_counter("per_client_limit").inc();
+      obs::trace_instant("service", "shed",
+                         {"id", std::string_view(request.id)},
+                         {"kind", std::string_view("per_client_limit")});
+      outcome.kind = RejectKind::PerClientLimit;
+      outcome.reason = "client already has " +
+                       std::to_string(sched_.client_depth(client)) +
+                       " request(s) queued (per-client cap " +
+                       std::to_string(options_.max_queue_per_client) + ")";
       return outcome;
     }
     const std::size_t outstanding = queued_cells_ + running_cells_left_;
@@ -142,22 +194,43 @@ Submission RequestBroker::submit(ServiceRequest request, JobEvents events) {
     Job job;
     job.request = std::move(request);
     job.events = std::move(events);
+    job.client = client;
     job.cells = outcome.cells;
+    job.lane = route(job.request, job.cells);
     queued_cells_ += job.cells;
-    metrics_.on_accepted();
+    metrics_.on_accepted(job.lane == ServiceLane::Interactive);
     admitted_counter().inc();
+    lane_counter(job.lane == ServiceLane::Interactive ? "interactive"
+                                                      : "bulk")
+        .inc();
     obs::trace_instant("service", "queue",
                        {"id", std::string_view(job.request.id)},
                        {"cells", std::uint64_t(job.cells)},
-                       {"depth", std::uint64_t(queue_.size())});
+                       {"depth", std::uint64_t(sched_.size())});
     // Announce under the lock: the `accepted` frame must be on the wire
-    // before the execution thread can dequeue the job and stream cells.
+    // before a broker worker can dequeue the job and stream cells.
     if (job.events.on_accepted) job.events.on_accepted(job.cells);
-    queue_.push_back(std::move(job));
+    // Copied out first: push() takes the job by value, and the move that
+    // initializes that parameter may gut job.client before a reference
+    // to it would be read (argument evaluation order is unspecified).
+    const ServiceLane lane = job.lane;
+    const std::string client_key = job.client;
+    const std::size_t cost = job.cells;
+    sched_.push(lane, client_key, cost, std::move(job));
   }
   work_cv_.notify_all();
   outcome.accepted = true;
   return outcome;
+}
+
+ServiceLane RequestBroker::route(const ServiceRequest& request,
+                                 std::size_t cells) const noexcept {
+  if (request.priority == RequestPriority::Interactive)
+    return ServiceLane::Interactive;
+  if (request.priority == RequestPriority::Bulk) return ServiceLane::Bulk;
+  return cells <= options_.interactive_cell_threshold
+             ? ServiceLane::Interactive
+             : ServiceLane::Bulk;
 }
 
 EvaluationAnswer RequestBroker::evaluate(const EvaluateRequest& request) {
@@ -191,14 +264,16 @@ EvaluationAnswer RequestBroker::evaluate(const EvaluateRequest& request) {
 }
 
 MetricsSnapshot RequestBroker::metrics() const {
-  std::size_t depth = 0;
-  std::size_t in_flight = 0;
+  ServiceMetrics::Gauges gauges;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    depth = queue_.size();
-    in_flight = running_cells_left_;
+    gauges.queue_depth = sched_.size();
+    gauges.queue_depth_interactive = sched_.size(ServiceLane::Interactive);
+    gauges.queue_depth_bulk = sched_.size(ServiceLane::Bulk);
+    gauges.in_flight_cells = running_cells_left_;
+    gauges.in_flight_requests = running_jobs_;
   }
-  MetricsSnapshot snap = metrics_.snapshot(depth, in_flight);
+  MetricsSnapshot snap = metrics_.snapshot(gauges);
   const auto cache = cache_.counters();
   snap.problem_cache_hits = cache.problem_hits;
   snap.problem_cache_misses = cache.problem_misses;
@@ -224,36 +299,42 @@ void RequestBroker::resume() {
   work_cv_.notify_all();
 }
 
-void RequestBroker::run_loop() {
+void RequestBroker::worker_loop() {
   for (;;) {
     Job job;
+    bool overtook = false;
+    double waited = 0.0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock,
-                    [&] { return stop_ || (!paused_ && !queue_.empty()); });
-      if (stop_) break;
-      job = std::move(queue_.front());
-      queue_.pop_front();
+                    [&] { return stop_ || (!paused_ && !sched_.empty()); });
+      if (stop_) return;
+      auto picked = sched_.pop();  // non-empty: checked under this lock
+      job = std::move(*picked);
+      // Fairness accounting: an interactive pick that leaves bulk work
+      // behind in the queue jumped the line by design.
+      overtook = job.lane == ServiceLane::Interactive &&
+                 sched_.size(ServiceLane::Bulk) > 0;
+      waited = job.queued.elapsed_seconds();
       queued_cells_ -= job.cells;
-      running_cells_left_ = job.cells;
+      job.cells_left = job.cells;
+      running_cells_left_ += job.cells;
+      ++running_jobs_;
+      in_flight_gauge().set(static_cast<double>(running_jobs_));
     }
+    metrics_.on_dequeue(job.lane == ServiceLane::Interactive, waited,
+                        overtook);
     execute(job);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      running_cells_left_ = 0;
+      // Release whatever the job still holds of the in-flight sum: zero
+      // after a full run, the whole grid for a deadline-shed or
+      // canceled job.
+      running_cells_left_ -= std::min(job.cells_left, running_cells_left_);
+      job.cells_left = 0;
+      --running_jobs_;
+      in_flight_gauge().set(static_cast<double>(running_jobs_));
     }
-  }
-  // Shutdown drain: nothing queued may be silently dropped.
-  std::deque<Job> leftovers;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    leftovers.swap(queue_);
-    queued_cells_ = 0;
-  }
-  for (auto& job : leftovers) {
-    metrics_.on_shed_shutdown();
-    if (job.events.on_reject)
-      job.events.on_reject(RejectKind::Shutdown, "service is shutting down");
   }
 }
 
@@ -315,8 +396,8 @@ void RequestBroker::execute_in_process(Job& job, bool& canceled,
                                        std::size_t& ok, std::size_t& failed) {
   const auto& spec = job.request.spec;
   const auto cells = expand(spec);
-  // Problems come from the cross-request cache, built serially here
-  // (construction is the expensive part; cells only read them).
+  // Problems come from the cross-request cache, built here before the
+  // fan-out (construction is the expensive part; cells only read them).
   std::map<SweepProblemKey,
            std::pair<std::string, std::shared_ptr<const MappingProblem>>>
       problems;
@@ -348,7 +429,7 @@ void RequestBroker::execute_in_process(Job& job, bool& canceled,
           cancel.store(true);
       }
     }
-    finish_cell();
+    finish_cell(job);
   };
   if (!pool_ || cells.size() <= 1) {
     for (const auto& cell : cells) run_one(cell);
@@ -366,7 +447,8 @@ void RequestBroker::execute_batch(Job& job, bool& canceled, std::size_t& ok,
                                   std::size_t& failed) {
   // ForkExec/Remote delegate the whole request to BatchEngine: cells
   // run in other processes (no cross-request cache there) and stream
-  // back in grid order once the batch returns.
+  // back in grid order once the batch returns. Each job owns its
+  // engine, so concurrent requests never share backend state.
   const BatchEngine engine(options_.batch);
   const auto results = engine.run(job.request.spec);
   for (const auto& result : results) {
@@ -380,7 +462,7 @@ void RequestBroker::execute_batch(Job& job, bool& canceled, std::size_t& ok,
       }
       if (job.events.on_cell && !job.events.on_cell(result)) canceled = true;
     }
-    finish_cell();
+    finish_cell(job);
   }
 }
 
@@ -424,9 +506,14 @@ CellResult RequestBroker::run_cell(const SweepSpec& spec,
   }
 }
 
-void RequestBroker::finish_cell() {
+void RequestBroker::finish_cell(Job& job) {
+  // Both the job-local and the global remainder shrink together, so the
+  // in-flight sum stays a true per-job total under any concurrency.
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (running_cells_left_ > 0) --running_cells_left_;
+  if (job.cells_left > 0) {
+    --job.cells_left;
+    if (running_cells_left_ > 0) --running_cells_left_;
+  }
 }
 
 }  // namespace phonoc

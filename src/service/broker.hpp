@@ -5,11 +5,22 @@
 /// One broker multiplexes every client connection of a phonocd daemon
 /// onto one shared BatchEngine configuration (any backend). Admission
 /// is bounded and sheds explicitly: a request that would exceed the
-/// queue depth or the outstanding-cell budget is rejected *immediately*
-/// with a structured RejectKind::Overloaded answer — the service never
-/// queues unboundedly and never silently drops work. Accepted requests
-/// run one at a time in submission order on a dedicated execution
-/// thread; within a request, cells fan out over the broker's persistent
+/// queue depth, the client's own queue share, or the outstanding-cell
+/// budget is rejected *immediately* with a structured answer — the
+/// service never queues unboundedly and never silently drops work.
+///
+/// Accepted requests are executed by a pool of
+/// `BrokerOptions::request_concurrency` broker workers pulling from a
+/// weighted-fair scheduler (service/scheduler.hpp) instead of one FIFO
+/// deque: per-client sub-queues with a deficit-round-robin pick keyed
+/// by request cost (cells), inside two priority lanes — `interactive`
+/// for small grids under `interactive_cell_threshold` (or an explicit
+/// `priority interactive` request field), `bulk` for the rest — so
+/// cheap requests overtake long sweeps instead of head-of-line-blocking
+/// behind them. With `request_concurrency = 1` exactly one request runs
+/// at a time, and a single client's requests execute in submission
+/// order with byte-identical streams (the pre-pool behavior, pinned by
+/// test). Within a request, cells fan out over the broker's persistent
 /// thread pool (InProcess) or the configured ForkExec/Remote backend.
 ///
 /// Event contract, per submit() call:
@@ -18,31 +29,34 @@
 ///  * accepted — `on_accepted` fires synchronously inside submit()
 ///    (before the job can start, so the `accepted` frame is on the wire
 ///    ahead of any `cell` frame), then exactly one terminal event fires
-///    later from the execution thread: `on_done` (the request ran —
-///    even if the client vanished mid-stream) or `on_reject` (shed from
-///    the queue on deadline/shutdown, or a request-level execution
+///    later from a broker worker: `on_done` (the request ran — even if
+///    the client vanished mid-stream) or `on_reject` (shed from the
+///    queue on deadline/shutdown, or a request-level execution
 ///    failure).
 ///
 /// Bit-identity: the InProcess path runs the exact per-cell code of
-/// BatchEngine (same Engine/Evaluator construction, same seeds); the
-/// cross-request problem cache and memo bank only shift physical cost
-/// (see service/cache.hpp), so streamed results are bit-identical to an
-/// in-process BatchEngine::run of the same spec.
+/// BatchEngine (same Engine/Evaluator construction, same seeds);
+/// concurrent requests share the problem cache and memo bank but never
+/// mutate each other's problems (problems are immutable, each cell
+/// owns its Evaluator, and the memo shifts physical cost only — see
+/// service/cache.hpp), so every request's streamed results are
+/// bit-identical to a solo run of the same spec at any concurrency.
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "exec/batch_engine.hpp"
 #include "exec/thread_pool.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
+#include "service/scheduler.hpp"
 #include "util/timer.hpp"
 
 namespace phonoc {
@@ -50,17 +64,35 @@ namespace phonoc {
 struct BrokerOptions {
   /// Backend, worker count and evaluator knobs of the shared engine.
   BatchOptions batch{};
-  /// Requests allowed to wait behind the running one; a submit that
-  /// finds the queue at this depth is shed (RejectKind::Overloaded).
+  /// Requests executing concurrently: the broker worker pool size.
+  /// 0 derives from the hardware concurrency; 1 preserves the
+  /// single-executor behavior exactly (one request at a time, FIFO per
+  /// client).
+  std::size_t request_concurrency = 0;
+  /// Requests allowed to wait across all clients; a submit that finds
+  /// the queue at this depth is shed (RejectKind::Overloaded).
   std::size_t max_queue_depth = 8;
+  /// Requests one client may have queued (both lanes); beyond it the
+  /// submit is shed with RejectKind::PerClientLimit, so a single client
+  /// can no longer fill the whole admission queue. 0 = no per-client
+  /// cap (the global depth still applies).
+  std::size_t max_queue_per_client = 0;
   /// Estimated outstanding cost cap: queued cells plus the unfinished
-  /// cells of the running request. A request whose grid would push the
-  /// total beyond this is shed (RejectKind::Overloaded). 0 = no cap.
+  /// cells of every executing request. A request whose grid would push
+  /// the total beyond this is shed (RejectKind::Overloaded). 0 = no
+  /// cap.
   std::size_t max_outstanding_cells = 4096;
   /// Server-side per-request grid cap (RejectKind::Budget beyond it);
   /// 0 = no cap. The client's own ServiceRequest::max_cells is enforced
   /// independently.
   std::uint64_t max_cells_per_request = 0;
+  /// Lane routing: an Auto-priority request with at most this many
+  /// cells goes to the interactive lane, larger grids to bulk. An
+  /// explicit `priority` request field pins the lane either way.
+  std::size_t interactive_cell_threshold = 4;
+  /// Deficit-round-robin quantum in cells: the service one client may
+  /// consume per scheduler round before the pick moves on.
+  std::size_t drr_quantum_cells = 32;
   /// Cross-request reuse (see ServiceCache::Options).
   ServiceCache::Options cache{};
   /// Construct paused (test hook): jobs queue but never start until
@@ -100,16 +132,20 @@ struct EvaluationAnswer {
 class RequestBroker {
  public:
   explicit RequestBroker(BrokerOptions options);
-  /// Drains the queue (shedding every waiting job with
-  /// RejectKind::Shutdown), finishes the running request, joins.
+  /// Finishes the executing requests, then sheds everything still
+  /// queued with RejectKind::Shutdown, joins the worker pool.
   ~RequestBroker();
 
   RequestBroker(const RequestBroker&) = delete;
   RequestBroker& operator=(const RequestBroker&) = delete;
 
   /// Admission decision for one request (thread-safe; called from
-  /// connection threads). See the event contract above.
-  [[nodiscard]] Submission submit(ServiceRequest request, JobEvents events);
+  /// connection threads). `client` is the fairness identity the request
+  /// queues under — connections of the same client share one sub-queue;
+  /// empty means anonymous (all anonymous submits share one queue).
+  /// See the event contract above.
+  [[nodiscard]] Submission submit(ServiceRequest request, JobEvents events,
+                                  const std::string& client = {});
 
   /// Score one explicit mapping against the request's first
   /// (workload, topology, goal) coordinate, synchronously, through the
@@ -130,10 +166,15 @@ class RequestBroker {
   /// see itself.
   ServiceMetrics& raw_metrics() noexcept { return metrics_; }
 
-  /// Test hooks: freeze/unfreeze the execution thread so admission
+  /// Test hooks: freeze/unfreeze the broker workers so admission
   /// behavior can be asserted deterministically.
   void pause();
   void resume();
+
+  /// Broker workers actually running (the resolved request_concurrency).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
 
   [[nodiscard]] const BrokerOptions& options() const noexcept {
     return options_;
@@ -143,11 +184,17 @@ class RequestBroker {
   struct Job {
     ServiceRequest request;
     JobEvents events;
+    std::string client;
+    ServiceLane lane = ServiceLane::Bulk;
     std::size_t cells = 0;
+    /// Cells of this job still counted in the broker's in-flight sum;
+    /// decremented per finished cell, zeroed when the job ends (so a
+    /// shed or canceled job releases its whole contribution at once).
+    std::size_t cells_left = 0;
     Timer queued;  ///< queue-wait clock for the deadline check
   };
 
-  void run_loop();
+  void worker_loop();
   void execute(Job& job);
   void execute_in_process(Job& job, bool& canceled, std::size_t& ok,
                           std::size_t& failed);
@@ -159,7 +206,9 @@ class RequestBroker {
                                     const SweepCell& cell,
                                     const MappingProblem& problem,
                                     const std::string& key);
-  void finish_cell();
+  void finish_cell(Job& job);
+  [[nodiscard]] ServiceLane route(const ServiceRequest& request,
+                                  std::size_t cells) const noexcept;
 
   BrokerOptions options_;
   ServiceCache cache_;
@@ -168,13 +217,14 @@ class RequestBroker {
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::deque<Job> queue_;
-  std::size_t queued_cells_ = 0;        ///< sum over queue_
-  std::size_t running_cells_left_ = 0;  ///< unfinished cells, running job
+  FairScheduler<Job> sched_;
+  std::size_t queued_cells_ = 0;        ///< sum over queued jobs
+  std::size_t running_cells_left_ = 0;  ///< sum over executing jobs
+  std::size_t running_jobs_ = 0;        ///< executing requests
   bool paused_ = false;
   bool stop_ = false;
 
-  std::thread exec_thread_;
+  std::vector<std::thread> workers_;  ///< the request-execution pool
 };
 
 }  // namespace phonoc

@@ -39,16 +39,30 @@ void ServiceCache::touch(Slot& slot) const {
 
 std::shared_ptr<const MappingProblem> ServiceCache::problem(
     const SweepSpec& spec, const SweepCell& cell, const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = slots_.find(key); it != slots_.end()) {
-    ++counters_.problem_hits;
-    touch(it->second);
-    return it->second.problem;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = slots_.find(key); it != slots_.end()) {
+      ++counters_.problem_hits;
+      touch(it->second);
+      return it->second.problem;
+    }
+    ++counters_.problem_misses;
   }
-  ++counters_.problem_misses;
+  // Build outside the lock: construction is the expensive part, and
+  // holding the mutex through it would stall every concurrent broker
+  // worker behind one large network build — even workers after cached
+  // problems of *other* keys.
   auto problem = std::make_shared<const MappingProblem>(
       make_problem(spec, cell, make_cell_network(spec, cell.workload,
                                                  cell.topology)));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = slots_.find(key); it != slots_.end()) {
+    // A concurrent builder of the same key won the insert race. Adopt
+    // its copy and drop ours — construction is deterministic (same
+    // spec coordinate, same problem), so the copies are equivalent.
+    touch(it->second);
+    return it->second.problem;
+  }
   lru_.push_front(key);
   slots_.emplace(key, Slot{problem, EvaluatorMemo{}, lru_.begin()});
   while (slots_.size() > options_.max_problems && !lru_.empty()) {

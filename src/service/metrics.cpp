@@ -26,9 +26,20 @@ constexpr MetricDescriptor kMetricTable[] = {
     {"queue_depth", MetricDescriptor::Kind::Gauge,
      "Requests admitted but not yet executing.", true,
      [](const MetricsSnapshot& s) { return double(s.queue_depth); }},
+    {"queue_depth_interactive", MetricDescriptor::Kind::Gauge,
+     "Queued requests in the interactive lane.", true,
+     [](const MetricsSnapshot& s) {
+       return double(s.queue_depth_interactive);
+     }},
+    {"queue_depth_bulk", MetricDescriptor::Kind::Gauge,
+     "Queued requests in the bulk lane.", true,
+     [](const MetricsSnapshot& s) { return double(s.queue_depth_bulk); }},
     {"in_flight_cells", MetricDescriptor::Kind::Gauge,
-     "Sweep cells currently executing.", true,
+     "Unfinished cells across all executing requests.", true,
      [](const MetricsSnapshot& s) { return double(s.in_flight_cells); }},
+    {"in_flight_requests", MetricDescriptor::Kind::Gauge,
+     "Requests currently executing on broker workers.", true,
+     [](const MetricsSnapshot& s) { return double(s.in_flight_requests); }},
     {"uptime_seconds", MetricDescriptor::Kind::Gauge,
      "Seconds since the broker started.", false,
      [](const MetricsSnapshot& s) { return s.uptime_seconds; }},
@@ -59,6 +70,20 @@ constexpr MetricDescriptor kMetricTable[] = {
     {"shed_shutdown", MetricDescriptor::Kind::Counter,
      "Requests shed: broker draining for shutdown.", true,
      [](const MetricsSnapshot& s) { return double(s.shed_shutdown); }},
+    {"shed_per_client", MetricDescriptor::Kind::Counter,
+     "Requests shed: the client's own queue share is full.", true,
+     [](const MetricsSnapshot& s) { return double(s.shed_per_client); }},
+    {"requests_interactive", MetricDescriptor::Kind::Counter,
+     "Requests routed to the interactive lane.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_interactive); }},
+    {"requests_bulk", MetricDescriptor::Kind::Counter,
+     "Requests routed to the bulk lane.", true,
+     [](const MetricsSnapshot& s) { return double(s.requests_bulk); }},
+    {"interactive_overtakes", MetricDescriptor::Kind::Counter,
+     "Interactive picks that jumped queued bulk requests.", true,
+     [](const MetricsSnapshot& s) {
+       return double(s.interactive_overtakes);
+     }},
     {"requests_malformed", MetricDescriptor::Kind::Counter,
      "Frames that failed to parse as requests.", true,
      [](const MetricsSnapshot& s) { return double(s.requests_malformed); }},
@@ -113,6 +138,18 @@ constexpr MetricDescriptor kMetricTable[] = {
     {"wall_mean_seconds", MetricDescriptor::Kind::Gauge,
      "Mean wall time of completed requests.", false,
      [](const MetricsSnapshot& s) { return s.wall_mean_seconds; }},
+    {"wait_interactive_p50_seconds", MetricDescriptor::Kind::Gauge,
+     "Median interactive-lane queue wait.", false,
+     [](const MetricsSnapshot& s) { return s.wait_interactive_p50_seconds; }},
+    {"wait_interactive_p99_seconds", MetricDescriptor::Kind::Gauge,
+     "99th-percentile interactive-lane queue wait.", false,
+     [](const MetricsSnapshot& s) { return s.wait_interactive_p99_seconds; }},
+    {"wait_bulk_p50_seconds", MetricDescriptor::Kind::Gauge,
+     "Median bulk-lane queue wait.", false,
+     [](const MetricsSnapshot& s) { return s.wait_bulk_p50_seconds; }},
+    {"wait_bulk_p99_seconds", MetricDescriptor::Kind::Gauge,
+     "99th-percentile bulk-lane queue wait.", false,
+     [](const MetricsSnapshot& s) { return s.wait_bulk_p99_seconds; }},
 };
 
 std::string plain_value(const MetricDescriptor& metric,
@@ -174,9 +211,13 @@ void ServiceMetrics::on_malformed() {
   ++counters_.requests_malformed;
 }
 
-void ServiceMetrics::on_accepted() {
+void ServiceMetrics::on_accepted(bool interactive) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.requests_accepted;
+  if (interactive)
+    ++counters_.requests_interactive;
+  else
+    ++counters_.requests_bulk;
 }
 
 void ServiceMetrics::on_shed_overloaded() {
@@ -197,6 +238,22 @@ void ServiceMetrics::on_shed_deadline() {
 void ServiceMetrics::on_shed_shutdown() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.shed_shutdown;
+}
+
+void ServiceMetrics::on_shed_per_client() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shed_per_client;
+}
+
+void ServiceMetrics::on_dequeue(bool interactive, double wait_seconds,
+                                bool overtook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (interactive) {
+    wait_interactive_hist_.add(wait_seconds);
+    if (overtook) ++counters_.interactive_overtakes;
+  } else {
+    wait_bulk_hist_.add(wait_seconds);
+  }
 }
 
 void ServiceMetrics::on_completed(std::size_t cells_ok,
@@ -237,18 +294,24 @@ void ServiceMetrics::on_evaluator_counters(std::uint64_t hits,
   counters_.evaluator_cache_evictions += evictions;
 }
 
-MetricsSnapshot ServiceMetrics::snapshot(std::size_t queue_depth,
-                                         std::size_t in_flight_cells) const {
+MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap = counters_;
-  snap.queue_depth = queue_depth;
-  snap.in_flight_cells = in_flight_cells;
+  snap.queue_depth = gauges.queue_depth;
+  snap.queue_depth_interactive = gauges.queue_depth_interactive;
+  snap.queue_depth_bulk = gauges.queue_depth_bulk;
+  snap.in_flight_cells = gauges.in_flight_cells;
+  snap.in_flight_requests = gauges.in_flight_requests;
   snap.uptime_seconds = uptime_.elapsed_seconds();
   snap.wall_p50_seconds = wall_hist_.quantile(0.5);
   snap.wall_p90_seconds = wall_hist_.quantile(0.9);
   snap.wall_p99_seconds = wall_hist_.quantile(0.99);
   snap.wall_max_seconds = wall_stats_.max();
   snap.wall_mean_seconds = wall_stats_.mean();
+  snap.wait_interactive_p50_seconds = wait_interactive_hist_.quantile(0.5);
+  snap.wait_interactive_p99_seconds = wait_interactive_hist_.quantile(0.99);
+  snap.wait_bulk_p50_seconds = wait_bulk_hist_.quantile(0.5);
+  snap.wait_bulk_p99_seconds = wait_bulk_hist_.quantile(0.99);
   return snap;
 }
 

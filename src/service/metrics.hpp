@@ -25,7 +25,10 @@ namespace phonoc {
 struct MetricsSnapshot {
   // gauges
   std::size_t queue_depth = 0;
+  std::size_t queue_depth_interactive = 0;
+  std::size_t queue_depth_bulk = 0;
   std::size_t in_flight_cells = 0;
+  std::size_t in_flight_requests = 0;
   double uptime_seconds = 0.0;
   // connection / request counters
   std::uint64_t connections = 0;
@@ -37,7 +40,13 @@ struct MetricsSnapshot {
   std::uint64_t shed_budget = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_shutdown = 0;
+  std::uint64_t shed_per_client = 0;
   std::uint64_t requests_malformed = 0;
+  // lane routing / fairness
+  std::uint64_t requests_interactive = 0;  ///< admitted into the fast lane
+  std::uint64_t requests_bulk = 0;         ///< admitted into the bulk lane
+  /// Interactive dequeues that jumped ahead of >= 1 queued bulk request.
+  std::uint64_t interactive_overtakes = 0;
   std::uint64_t stats_requests = 0;
   std::uint64_t single_evaluations = 0;
   // cell counters
@@ -56,6 +65,11 @@ struct MetricsSnapshot {
   double wall_p99_seconds = 0.0;
   double wall_max_seconds = 0.0;
   double wall_mean_seconds = 0.0;
+  // per-lane queue-wait time (submit -> dequeue, every executed request)
+  double wait_interactive_p50_seconds = 0.0;
+  double wait_interactive_p99_seconds = 0.0;
+  double wait_bulk_p50_seconds = 0.0;
+  double wait_bulk_p99_seconds = 0.0;
 
   /// `<metric> <value>` lines (the framed `stats` reply body).
   [[nodiscard]] std::string to_text() const;
@@ -78,11 +92,17 @@ class ServiceMetrics {
   void on_connection();
   void on_stats_request();
   void on_malformed();
-  void on_accepted();
+  /// `interactive` is the admitted request's routed lane.
+  void on_accepted(bool interactive);
   void on_shed_overloaded();
   void on_shed_budget();
   void on_shed_deadline();
   void on_shed_shutdown();
+  void on_shed_per_client();
+  /// A broker worker dequeued a request after `wait_seconds` in its
+  /// lane; `overtook` marks an interactive pick that jumped ahead of at
+  /// least one queued bulk request (the fairness counter).
+  void on_dequeue(bool interactive, double wait_seconds, bool overtook);
   void on_completed(std::size_t cells_ok, std::size_t cells_failed,
                     double wall_seconds);
   void on_request_failed();
@@ -92,10 +112,19 @@ class ServiceMetrics {
   void on_evaluator_counters(std::uint64_t hits, std::uint64_t misses,
                              std::uint64_t evictions);
 
+  /// The live gauges only the broker can sample (its queue and
+  /// in-flight ledgers), handed into snapshot().
+  struct Gauges {
+    std::size_t queue_depth = 0;
+    std::size_t queue_depth_interactive = 0;
+    std::size_t queue_depth_bulk = 0;
+    std::size_t in_flight_cells = 0;
+    std::size_t in_flight_requests = 0;
+  };
+
   /// Snapshot the counters; the caller supplies the gauges it owns and
   /// fills the problem-cache counters from ServiceCache::counters().
-  [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth,
-                                         std::size_t in_flight_cells) const;
+  [[nodiscard]] MetricsSnapshot snapshot(const Gauges& gauges) const;
 
  private:
   mutable std::mutex mutex_;
@@ -105,6 +134,11 @@ class ServiceMetrics {
   /// 60s, which is all a load dashboard needs.
   Histogram wall_hist_{0.0, 60.0, 600};
   RunningStats wall_stats_;
+  /// Per-lane queue-wait distributions: 1000 x 10ms bins over [0, 10s)
+  /// — fine enough to see an interactive request stuck behind a bulk
+  /// pick, saturating at 10s.
+  Histogram wait_interactive_hist_{0.0, 10.0, 1000};
+  Histogram wait_bulk_hist_{0.0, 10.0, 1000};
   Timer uptime_;
 };
 

@@ -48,6 +48,7 @@ std::string_view reject_kind_token(RejectKind kind) noexcept {
     case RejectKind::Deadline: return "deadline";
     case RejectKind::Malformed: return "malformed";
     case RejectKind::Shutdown: return "shutdown";
+    case RejectKind::PerClientLimit: return "per_client_limit";
     case RejectKind::Internal: return "internal";
   }
   return "internal";
@@ -59,8 +60,25 @@ RejectKind parse_reject_kind(std::string_view token) {
   if (token == "deadline") return RejectKind::Deadline;
   if (token == "malformed") return RejectKind::Malformed;
   if (token == "shutdown") return RejectKind::Shutdown;
+  if (token == "per_client_limit") return RejectKind::PerClientLimit;
   if (token == "internal") return RejectKind::Internal;
   throw ParseError("unknown reject kind '" + std::string(token) + "'");
+}
+
+std::string_view priority_token(RequestPriority p) noexcept {
+  switch (p) {
+    case RequestPriority::Auto: return "auto";
+    case RequestPriority::Interactive: return "interactive";
+    case RequestPriority::Bulk: return "bulk";
+  }
+  return "auto";
+}
+
+RequestPriority parse_priority(std::string_view token) {
+  if (token == "auto") return RequestPriority::Auto;
+  if (token == "interactive") return RequestPriority::Interactive;
+  if (token == "bulk") return RequestPriority::Bulk;
+  throw ParseError("unknown request priority '" + std::string(token) + "'");
 }
 
 void validate_request_id(std::string_view id) {
@@ -79,8 +97,12 @@ std::string write_request(const ServiceRequest& request) {
   std::ostringstream out;
   out << "request " << request.id << " deadline "
       << format_double(request.deadline_seconds) << " max_cells "
-      << request.max_cells << '\n'
-      << kSpecMagic << '\n';
+      << request.max_cells;
+  // Emitted only when set: an Auto-priority request is byte-identical
+  // to the pre-lane wire format.
+  if (request.priority != RequestPriority::Auto)
+    out << " priority " << priority_token(request.priority);
+  out << '\n' << kSpecMagic << '\n';
   write_spec(out, request.spec);
   return out.str();
 }
@@ -88,7 +110,8 @@ std::string write_request(const ServiceRequest& request) {
 ServiceRequest parse_request(const std::string& payload) {
   const auto [header, body] = split_header(payload);
   const auto tokens = split_ws(header);
-  if (tokens.size() != 6 || tokens[0] != "request" ||
+  const bool has_priority = tokens.size() == 8 && tokens[6] == "priority";
+  if ((tokens.size() != 6 && !has_priority) || tokens[0] != "request" ||
       tokens[2] != "deadline" || tokens[4] != "max_cells")
     throw ParseError("malformed request header: '" + std::string(header) +
                      "'");
@@ -99,6 +122,7 @@ ServiceRequest parse_request(const std::string& payload) {
   if (request.deadline_seconds < 0.0)
     throw ParseError("request deadline is negative");
   request.max_cells = parse_u64(tokens[5], "request max_cells");
+  if (has_priority) request.priority = parse_priority(tokens[7]);
   request.spec = parse_spec_body(body, "request");
   return request;
 }

@@ -12,8 +12,8 @@
 /// over unchanged.
 ///
 /// Client -> server payloads:
-///   hello phonoc-service v1
-///   request <id> deadline <seconds> max_cells <n>\n<spec text>
+///   hello phonoc-service v1 [client <name>]
+///   request <id> deadline <seconds> max_cells <n> [priority <p>]\n<spec text>
 ///   evaluate <id> tiles <t0> <t1> ...\n<spec text>
 ///   stats
 ///   quit
@@ -47,7 +47,10 @@
 namespace phonoc {
 
 /// Service handshake payload; both sides send it first. Prefix-matched
-/// (like kSchedHello) so later revisions may append fields.
+/// (like kSchedHello) so later revisions may append fields. The server
+/// reads an optional `client <name>` suffix as the connection's
+/// fairness identity (same syntax rules as a request id); connections
+/// announcing the same name share one scheduler sub-queue.
 inline constexpr const char* kServiceHello = "hello phonoc-service v1";
 /// Client farewell: the daemon goes back to accepting instead of
 /// logging a peer death.
@@ -62,17 +65,30 @@ inline constexpr const char* kServiceStatsPrometheus = "stats prometheus";
 
 /// Why the broker refused a request (the token after `rejected <id>`).
 enum class RejectKind {
-  Overloaded,  ///< admission queue or outstanding-cell budget is full
-  Budget,      ///< the grid exceeds the request's / server's max_cells
-  Deadline,    ///< the request's deadline passed while it was queued
-  Malformed,   ///< the request payload did not parse
-  Shutdown,    ///< the broker is draining; no new work is admitted
-  Internal,    ///< request-level execution failure (see the reason)
+  Overloaded,      ///< admission queue or outstanding-cell budget is full
+  Budget,          ///< the grid exceeds the request's / server's max_cells
+  Deadline,        ///< the request's deadline passed while it was queued
+  Malformed,       ///< the request payload did not parse
+  Shutdown,        ///< the broker is draining; no new work is admitted
+  PerClientLimit,  ///< this client alone already fills its queue share
+  Internal,        ///< request-level execution failure (see the reason)
 };
 
 [[nodiscard]] std::string_view reject_kind_token(RejectKind kind) noexcept;
 /// Throws ParseError on an unknown token.
 [[nodiscard]] RejectKind parse_reject_kind(std::string_view token);
+
+/// Requested scheduling lane of a sweep request. `Auto` (the default,
+/// and the only value old clients can send — the header field is
+/// optional) routes by grid size: at most the broker's interactive
+/// cell threshold goes to the interactive lane, anything larger to
+/// bulk. Explicit values pin the lane; per-client fair queuing bounds
+/// the damage a mislabelled request can do within its lane.
+enum class RequestPriority { Auto, Interactive, Bulk };
+
+[[nodiscard]] std::string_view priority_token(RequestPriority p) noexcept;
+/// Throws ParseError on an unknown token.
+[[nodiscard]] RequestPriority parse_priority(std::string_view token);
 
 /// One mapping/sweep job: a full SweepSpec plus the per-request budget.
 struct ServiceRequest {
@@ -83,6 +99,10 @@ struct ServiceRequest {
   /// Reject (RejectKind::Budget) when the expanded grid exceeds this
   /// many cells. 0 = no client-side cap (the server cap still applies).
   std::uint64_t max_cells = 0;
+  /// Optional lane hint; written on the wire only when not Auto, so a
+  /// default-priority request's bytes are identical to the pre-lane
+  /// protocol.
+  RequestPriority priority = RequestPriority::Auto;
   SweepSpec spec;
 };
 

@@ -90,6 +90,30 @@ std::string first_line_of(const std::string& payload, std::size_t limit) {
   return line;
 }
 
+/// Fairness identity of a connection, from the optional
+/// `client <name>` hello suffix (the hello is prefix-matched, so old
+/// clients simply have no suffix). Named connections of the same client
+/// share one scheduler sub-queue; an unnamed (or malformed) suffix
+/// falls back to a per-connection identity, so fairness degrades to
+/// per-connection instead of lumping every anonymous peer together.
+std::string client_identity(const std::string& hello_payload) {
+  static std::atomic<std::uint64_t> next_anonymous{0};
+  const std::size_t prefix = std::string_view(kServiceHello).size();
+  if (hello_payload.size() > prefix) {
+    const auto tokens =
+        split_ws(std::string_view(hello_payload).substr(prefix));
+    if (tokens.size() == 2 && tokens[0] == "client") {
+      try {
+        validate_request_id(tokens[1]);  // same charset/length rules
+        return tokens[1];
+      } catch (const ParseError&) {
+        // fall through to the per-connection identity
+      }
+    }
+  }
+  return "conn#" + std::to_string(next_anonymous.fetch_add(1) + 1);
+}
+
 }  // namespace
 
 std::size_t serve_client(Connection& conn, RequestBroker& broker,
@@ -117,6 +141,7 @@ std::size_t serve_client(Connection& conn, RequestBroker& broker,
   }
   if (!conn.send(kServiceHello)) return 0;
   broker.raw_metrics().on_connection();
+  const std::string client = client_identity(hello.payload);
 
   const auto writer = std::make_shared<ResponseWriter>(conn);
   std::size_t handled = 0;
@@ -203,7 +228,7 @@ std::size_t serve_client(Connection& conn, RequestBroker& broker,
       // call job_finished) before submit even returns.
       writer->job_started();
       const Submission outcome =
-          broker.submit(std::move(parsed), std::move(events));
+          broker.submit(std::move(parsed), std::move(events), client);
       if (!outcome.accepted) {
         writer->job_finished();
         (void)writer->send(

@@ -3,8 +3,11 @@
 // adversarial byte streams (truncated prefixes, corrupt checksums,
 // hostile declared lengths, interleaved partial feeds), RequestBroker
 // admission control made deterministic through the pause()/resume()
-// hook, cross-request evaluator-memo reuse, and serve_client() end to
-// end over real socketpairs: concurrent Optimize + Sample clients
+// hook, FairScheduler lane + deficit-round-robin mechanics, broker
+// scheduling (per-client fairness, lane routing, per-client caps,
+// per-job in-flight accounting, bit-identity under a concurrent
+// request pool), cross-request evaluator-memo reuse, and serve_client()
+// end to end over real socketpairs: concurrent Optimize + Sample clients
 // bit-identical to an in-process BatchEngine run, and a vanished client
 // canceling its job instead of hanging the connection handler.
 
@@ -13,6 +16,7 @@
 #include <sys/socket.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -29,6 +33,7 @@
 #include "service/broker.hpp"
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
+#include "service/scheduler.hpp"
 #include "service/server.hpp"
 #include "util/error.hpp"
 #include "workloads/generator.hpp"
@@ -158,9 +163,38 @@ TEST(ServiceProtocol, RepliesRoundTripThroughParseReply) {
 TEST(ServiceProtocol, RejectKindTokensRoundTrip) {
   for (const auto kind :
        {RejectKind::Overloaded, RejectKind::Budget, RejectKind::Deadline,
-        RejectKind::Malformed, RejectKind::Shutdown, RejectKind::Internal})
+        RejectKind::Malformed, RejectKind::Shutdown,
+        RejectKind::PerClientLimit, RejectKind::Internal})
     EXPECT_EQ(parse_reject_kind(reject_kind_token(kind)), kind);
   EXPECT_THROW((void)parse_reject_kind("nonsense"), ParseError);
+}
+
+TEST(ServiceProtocol, PriorityFieldIsOptionalOnTheWire) {
+  ServiceRequest request;
+  request.id = "lane";
+  request.spec = opt_spec();
+
+  // The default (Auto) priority writes the pre-lane byte format: no
+  // `priority` token anywhere, so old servers parse it unchanged.
+  const auto wire = write_request(request);
+  EXPECT_EQ(wire.find("priority"), std::string::npos);
+  EXPECT_EQ(parse_request(wire).priority, RequestPriority::Auto);
+
+  // Explicit lanes round-trip through the optional header field.
+  for (const auto priority :
+       {RequestPriority::Interactive, RequestPriority::Bulk}) {
+    request.priority = priority;
+    const auto explicit_wire = write_request(request);
+    EXPECT_NE(explicit_wire.find(
+                  " priority " + std::string(priority_token(priority))),
+              std::string::npos);
+    EXPECT_EQ(parse_request(explicit_wire).priority, priority);
+  }
+  EXPECT_THROW((void)parse_priority("urgent"), ParseError);
+  EXPECT_THROW(
+      (void)parse_request("request j deadline 0 max_cells 0 priority "
+                          "urgent\nx"),
+      ParseError);
 }
 
 TEST(ServiceProtocol, BadRequestIdsAreRejected) {
@@ -761,6 +795,408 @@ TEST(ServiceServer, ServesARealTcpClientOnAnEphemeralPort) {
   conn->close();
   accept_thread.join();
   EXPECT_EQ(server.broker().metrics().requests_completed, 1u);
+}
+
+// --- FairScheduler: lanes + deficit round robin -----------------------------
+
+TEST(FairScheduler, InteractiveLaneAlwaysDrainsFirst) {
+  FairScheduler<std::string> sched(32);
+  sched.push(ServiceLane::Bulk, "a", 8, "bulk-1");
+  sched.push(ServiceLane::Bulk, "a", 8, "bulk-2");
+  sched.push(ServiceLane::Interactive, "b", 1, "fast-1");
+  sched.push(ServiceLane::Interactive, "c", 1, "fast-2");
+  EXPECT_EQ(sched.size(), 4u);
+  EXPECT_EQ(sched.size(ServiceLane::Interactive), 2u);
+  EXPECT_EQ(*sched.pop(), "fast-1");
+  EXPECT_EQ(*sched.pop(), "fast-2");
+  EXPECT_EQ(*sched.pop(), "bulk-1");
+  // A late interactive arrival still jumps the queued bulk work.
+  sched.push(ServiceLane::Interactive, "b", 1, "fast-3");
+  EXPECT_EQ(*sched.pop(), "fast-3");
+  EXPECT_EQ(*sched.pop(), "bulk-2");
+  EXPECT_FALSE(sched.pop().has_value());
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(FairScheduler, LightClientIsServedWithinTheFirstRound) {
+  // The satellite scenario: heavy client a queues 8 jobs of cost 4,
+  // light client b queues 1. With quantum 16, a's burst is cut after
+  // exactly quantum/cost = 4 jobs and b runs — within the first round,
+  // not after a's whole backlog.
+  FairScheduler<std::string> sched(16);
+  for (int i = 0; i < 8; ++i)
+    sched.push(ServiceLane::Bulk, "a", 4, "a" + std::to_string(i));
+  sched.push(ServiceLane::Bulk, "b", 4, "b0");
+  std::vector<std::string> order;
+  while (auto job = sched.pop()) order.push_back(*job);
+  ASSERT_EQ(order.size(), 9u);
+  const std::vector<std::string> want{"a0", "a1", "a2", "a3", "b0",
+                                      "a4", "a5", "a6", "a7"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(FairScheduler, ExpensiveJobAccumulatesDeficitAcrossRounds) {
+  // a's front job costs 10 with quantum 4: unaffordable for two rounds,
+  // served on the third visit (deficit 4 -> 8 -> 12), while b's cheap
+  // jobs keep flowing — backlog never starves, big jobs still run.
+  FairScheduler<std::string> sched(4);
+  sched.push(ServiceLane::Bulk, "a", 10, "a-big");
+  for (int i = 0; i < 6; ++i)
+    sched.push(ServiceLane::Bulk, "b", 2, "b" + std::to_string(i));
+  std::vector<std::string> order;
+  while (auto job = sched.pop()) order.push_back(*job);
+  const std::vector<std::string> want{"b0", "b1", "b2", "b3", "a-big",
+                                      "b4", "b5"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(FairScheduler, EmptiedClientForfeitsItsDeficit) {
+  FairScheduler<std::string> sched(10);
+  sched.push(ServiceLane::Bulk, "a", 1, "a0");
+  EXPECT_EQ(*sched.pop(), "a0");  // leaves 9 deficit on the table
+  // Re-joining starts from zero: a cost-11 job needs two fresh visits
+  // (10, then 20), not the forfeited credit from the earlier burst.
+  sched.push(ServiceLane::Bulk, "a", 11, "a-big");
+  sched.push(ServiceLane::Bulk, "b", 1, "b0");
+  EXPECT_EQ(*sched.pop(), "b0");
+  EXPECT_EQ(*sched.pop(), "a-big");
+  EXPECT_EQ(sched.client_depth("a"), 0u);
+}
+
+TEST(FairScheduler, DrainReturnsEverythingInteractiveFirst) {
+  FairScheduler<int> sched(8);
+  sched.push(ServiceLane::Bulk, "a", 4, 1);
+  sched.push(ServiceLane::Interactive, "a", 1, 2);
+  sched.push(ServiceLane::Bulk, "b", 4, 3);
+  sched.push(ServiceLane::Interactive, "b", 1, 4);
+  EXPECT_EQ(sched.client_depth("a"), 2u);
+  const auto all = sched.drain();
+  ASSERT_EQ(all.size(), 4u);
+  // Interactive lane first; cross-client order within a lane is ring
+  // order, which drain does not pin.
+  EXPECT_TRUE((all[0] == 2 && all[1] == 4) || (all[0] == 4 && all[1] == 2));
+  EXPECT_TRUE((all[2] == 1 && all[3] == 3) || (all[2] == 3 && all[3] == 1));
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.client_depth("a"), 0u);
+  EXPECT_FALSE(sched.pop().has_value());
+}
+
+// --- broker scheduling: fairness, lanes, caps, concurrency ------------------
+
+TEST(RequestBroker, PausedBrokerServesLightClientWithinFirstDrrRound) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.request_concurrency = 1;  // completion order == pop order
+  options.interactive_cell_threshold = 0;  // everything rides bulk: DRR only
+  options.drr_quantum_cells = 16;
+  options.max_queue_depth = 16;
+  options.max_outstanding_cells = 0;
+  options.start_paused = true;  // admission order is deterministic
+  RequestBroker broker(options);
+
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  std::vector<std::unique_ptr<Collected>> jobs;
+  const auto submit = [&](const std::string& id, const std::string& client) {
+    auto collected = std::make_unique<Collected>();
+    auto events = collected->events();
+    const auto base_done = events.on_done;
+    events.on_done = [&, id, base_done](std::size_t ok, std::size_t failed) {
+      {
+        const std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(id);
+      }
+      base_done(ok, failed);
+    };
+    ASSERT_TRUE(broker
+                    .submit(make_request(id, opt_spec()), std::move(events),
+                            client)
+                    .accepted);
+    jobs.push_back(std::move(collected));
+  };
+
+  // Heavy client a queues 8 four-cell sweeps, light client b one.
+  for (int i = 0; i < 8; ++i) submit("a" + std::to_string(i), "a");
+  submit("b0", "b");
+  broker.resume();
+  for (auto& job : jobs) job->wait();
+
+  // Quantum 16 over cost-4 jobs: a0..a3, then b0 — the light client is
+  // served within the first DRR round, not behind a's whole backlog.
+  ASSERT_EQ(completion_order.size(), 9u);
+  const std::vector<std::string> want{"a0", "a1", "a2", "a3", "b0",
+                                      "a4", "a5", "a6", "a7"};
+  EXPECT_EQ(completion_order, want);
+}
+
+TEST(RequestBroker, ConcurrencyOnePreservesAnonymousSubmissionOrder) {
+  // The pre-pool pin: one worker and one (anonymous) sub-queue is plain
+  // FIFO — admission order is execution order, exactly the old
+  // single-thread run_loop.
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.request_concurrency = 1;
+  options.interactive_cell_threshold = 0;
+  options.start_paused = true;
+  RequestBroker broker(options);
+
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  std::vector<std::unique_ptr<Collected>> jobs;
+  for (const auto* id : {"first", "second", "third"}) {
+    auto collected = std::make_unique<Collected>();
+    auto events = collected->events();
+    const auto base_done = events.on_done;
+    const std::string name = id;
+    events.on_done = [&, name, base_done](std::size_t ok,
+                                          std::size_t failed) {
+      {
+        const std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(name);
+      }
+      base_done(ok, failed);
+    };
+    ASSERT_TRUE(
+        broker.submit(make_request(name, opt_spec()), std::move(events))
+            .accepted);
+    jobs.push_back(std::move(collected));
+  }
+  broker.resume();
+  for (auto& job : jobs) job->wait();
+  EXPECT_EQ(completion_order,
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(RequestBroker, LaneRoutingByThresholdAndExplicitPriority) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.request_concurrency = 1;
+  options.interactive_cell_threshold = 4;  // opt_spec's 4 cells qualify
+  options.max_outstanding_cells = 0;
+  options.start_paused = true;
+  RequestBroker broker(options);
+
+  // An 8-cell sweep routes bulk by size.
+  auto big = opt_spec();
+  big.add_seed_range(11, 2);  // 2 optimizers x 1 budget x 4 seeds = 8
+  std::mutex order_mutex;
+  std::vector<std::string> completion_order;
+  std::vector<std::unique_ptr<Collected>> jobs;
+  const auto submit = [&](ServiceRequest request) {
+    auto collected = std::make_unique<Collected>();
+    auto events = collected->events();
+    const auto base_done = events.on_done;
+    const std::string id = request.id;
+    events.on_done = [&, id, base_done](std::size_t ok, std::size_t failed) {
+      {
+        const std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(id);
+      }
+      base_done(ok, failed);
+    };
+    ASSERT_TRUE(broker.submit(std::move(request), std::move(events), "c")
+                    .accepted);
+    jobs.push_back(std::move(collected));
+  };
+
+  submit(make_request("bulk-by-size", big));
+  auto pinned = make_request("bulk-by-priority", opt_spec());
+  pinned.priority = RequestPriority::Bulk;  // small grid, explicit lane
+  submit(std::move(pinned));
+  submit(make_request("fast-by-size", opt_spec()));
+
+  {
+    const auto snap = broker.metrics();
+    EXPECT_EQ(snap.queue_depth, 3u);
+    EXPECT_EQ(snap.queue_depth_interactive, 1u);
+    EXPECT_EQ(snap.queue_depth_bulk, 2u);
+    EXPECT_EQ(snap.requests_interactive, 1u);
+    EXPECT_EQ(snap.requests_bulk, 2u);
+  }
+
+  broker.resume();
+  for (auto& job : jobs) job->wait();
+  // The interactive request overtook both queued bulk requests even
+  // though it was submitted last.
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], "fast-by-size");
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.interactive_overtakes, 1u);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_GE(snap.wait_bulk_p99_seconds, 0.0);
+}
+
+TEST(RequestBroker, PerClientCapShedsTheHogAndAdmitsOthers) {
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.request_concurrency = 1;
+  options.max_queue_depth = 16;
+  options.max_queue_per_client = 2;
+  options.max_outstanding_cells = 0;
+  options.start_paused = true;
+  RequestBroker broker(options);
+
+  Collected h0, h1, h2, other;
+  ASSERT_TRUE(broker.submit(make_request("h0", opt_spec()), h0.events(),
+                            "hog")
+                  .accepted);
+  ASSERT_TRUE(broker.submit(make_request("h1", opt_spec()), h1.events(),
+                            "hog")
+                  .accepted);
+  const auto shed = broker.submit(make_request("h2", opt_spec()),
+                                  h2.events(), "hog");
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.kind, RejectKind::PerClientLimit);
+  EXPECT_NE(shed.reason.find("per-client cap"), std::string::npos);
+  // The cap is per client, not global: another client still gets in.
+  ASSERT_TRUE(broker.submit(make_request("o0", opt_spec()), other.events(),
+                            "polite")
+                  .accepted);
+
+  const auto snap = broker.metrics();
+  EXPECT_EQ(snap.shed_per_client, 1u);
+  EXPECT_EQ(snap.requests_accepted, 3u);
+  EXPECT_EQ(snap.queue_depth, 3u);
+
+  broker.resume();
+  h0.wait();
+  h1.wait();
+  other.wait();
+}
+
+TEST(RequestBroker, InFlightCellsAreAPerJobSumUnderConcurrency) {
+  // The satellite regression: with two requests executing, the
+  // in-flight gauge must be the *sum* of both jobs' unfinished cells
+  // (the old scalar was overwritten by whichever job started last).
+  BrokerOptions options;
+  options.batch.workers = 1;  // cells run serially inside each request
+  options.request_concurrency = 2;
+  options.max_outstanding_cells = 0;
+  options.start_paused = true;
+  RequestBroker broker(options);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  std::size_t cells_entered = 0;
+  bool release = false;
+  std::promise<void> done_a, done_b;
+  const auto events_for = [&](std::promise<void>& done) {
+    JobEvents events;
+    events.on_cell = [&](const CellResult&) {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      ++cells_entered;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return release; });
+      return true;
+    };
+    events.on_done = [&done](std::size_t, std::size_t) { done.set_value(); };
+    events.on_reject = [&done](RejectKind, const std::string&) {
+      done.set_value();
+    };
+    return events;
+  };
+  ASSERT_TRUE(broker.submit(make_request("a", opt_spec()),
+                            events_for(done_a))
+                  .accepted);
+  ASSERT_TRUE(broker.submit(make_request("b", opt_spec()),
+                            events_for(done_b))
+                  .accepted);
+  broker.resume();
+  {
+    // Both workers are now blocked streaming their first cell: two
+    // 4-cell jobs are executing and no cell has finished yet.
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, kWaitLimit,
+                                 [&] { return cells_entered >= 2; }));
+  }
+  {
+    const auto snap = broker.metrics();
+    EXPECT_EQ(snap.in_flight_requests, 2u);
+    EXPECT_EQ(snap.in_flight_cells, 8u);  // 4 + 4, not last-writer-wins
+    EXPECT_EQ(snap.queue_depth, 0u);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_EQ(done_a.get_future().wait_for(kWaitLimit),
+            std::future_status::ready);
+  ASSERT_EQ(done_b.get_future().wait_for(kWaitLimit),
+            std::future_status::ready);
+  // on_done fires from inside execute(); the worker releases its
+  // in-flight accounting just after, so poll briefly for the settle.
+  const auto deadline = std::chrono::steady_clock::now() + kWaitLimit;
+  MetricsSnapshot snap = broker.metrics();
+  while (snap.in_flight_requests != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+    snap = broker.metrics();
+  }
+  EXPECT_EQ(snap.in_flight_requests, 0u);
+  EXPECT_EQ(snap.in_flight_cells, 0u);
+  EXPECT_EQ(snap.requests_completed, 2u);
+}
+
+TEST(RequestBroker, ThreeConcurrentBusyClientsStayBitIdenticalToSolo) {
+  const auto optimize = opt_spec();
+  const auto sample = sample_spec();
+  const auto optimize_reference = BatchEngine(BatchOptions{}).run(optimize);
+  const auto sample_reference = BatchEngine(BatchOptions{}).run(sample);
+
+  BrokerOptions options;
+  options.batch.workers = 1;
+  options.request_concurrency = 3;  // three requests genuinely in flight
+  options.max_outstanding_cells = 0;
+  RequestBroker broker(options);
+  ASSERT_EQ(broker.worker_count(), 3u);
+
+  // Three clients hammer the broker at once: two Optimize streams (the
+  // second also exercises the shared memo bank) and one Sample stream.
+  // Every result must match the solo in-process run bit for bit — the
+  // shared problem cache and memo shift cost only, never results.
+  struct ClientRun {
+    std::string client;
+    const SweepSpec* spec;
+    const std::vector<CellResult>* reference;
+    Collected collected;
+  };
+  std::vector<std::unique_ptr<ClientRun>> runs;
+  runs.push_back(std::unique_ptr<ClientRun>(
+      new ClientRun{"alice", &optimize, &optimize_reference, {}}));
+  runs.push_back(std::unique_ptr<ClientRun>(
+      new ClientRun{"bob", &optimize, &optimize_reference, {}}));
+  runs.push_back(std::unique_ptr<ClientRun>(
+      new ClientRun{"carol", &sample, &sample_reference, {}}));
+  for (auto& run : runs)
+    ASSERT_TRUE(broker
+                    .submit(make_request(run->client, *run->spec),
+                            run->collected.events(), run->client)
+                    .accepted);
+  for (auto& run : runs) {
+    run->collected.wait();
+    ASSERT_TRUE(run->collected.done) << run->client;
+    ASSERT_EQ(run->collected.cells.size(), run->reference->size())
+        << run->client;
+    std::vector<CellResult> ordered(run->reference->size());
+    for (auto& cell : run->collected.cells)
+      ordered[cell.cell.index] = std::move(cell);
+    for (std::size_t i = 0; i < ordered.size(); ++i)
+      expect_identical_cell(ordered[i], (*run->reference)[i],
+                            run->spec->task_kind);
+  }
+  // The in-flight gauges settle just after each on_done (see the
+  // accounting test above): poll briefly.
+  const auto deadline = std::chrono::steady_clock::now() + kWaitLimit;
+  MetricsSnapshot snap = broker.metrics();
+  while (snap.in_flight_requests != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+    snap = broker.metrics();
+  }
+  EXPECT_EQ(snap.requests_completed, 3u);
+  EXPECT_EQ(snap.in_flight_cells, 0u);
+  EXPECT_EQ(snap.in_flight_requests, 0u);
 }
 
 }  // namespace
